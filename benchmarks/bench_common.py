@@ -1,0 +1,82 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every ``test_figXX_*.py`` module reproduces one figure/table from the paper:
+it sweeps the same loads, prints the same series the paper plots, writes the
+table to ``benchmarks/results/``, and asserts the figure's *qualitative*
+shape (who wins, where the crossover is) so a regression that silently
+breaks a result fails the benchmark run.
+
+Scale: ``PASE_BENCH_SCALE`` (default 1.0) multiplies per-point flow counts;
+set it to 3-5 for tighter confidence at the cost of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Mapping, Sequence
+
+from repro.harness import (
+    ExperimentResult,
+    format_series_table,
+    run_experiment,
+    series_from_results,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper sweeps 10%-90%; we default to five points across that range.
+PAPER_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+SCALE = float(os.environ.get("PASE_BENCH_SCALE", "1.0"))
+
+
+def flows(n: int) -> int:
+    """Scale a per-point flow budget by PASE_BENCH_SCALE."""
+    return max(20, int(n * SCALE))
+
+
+def sweep(
+    protocols: Sequence[str],
+    scenario_factory: Callable,
+    loads: Iterable[float] = PAPER_LOADS,
+    num_flows: int = 200,
+    seed: int = 42,
+    **kwargs,
+) -> Dict[str, Dict[float, ExperimentResult]]:
+    """Run each protocol across the load sweep (fresh scenario per run)."""
+    results: Dict[str, Dict[float, ExperimentResult]] = {}
+    for protocol in protocols:
+        results[protocol] = {}
+        for load in loads:
+            results[protocol][load] = run_experiment(
+                protocol, scenario_factory(), load,
+                num_flows=flows(num_flows), seed=seed, **kwargs,
+            )
+    return results
+
+
+def emit(name: str, text: str) -> str:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def afct_table(
+    title: str,
+    results: Mapping[str, Mapping[float, ExperimentResult]],
+    loads: Sequence[float],
+) -> str:
+    series = series_from_results(results, "afct", scale=1e3)
+    return format_series_table(title, loads, series, unit="ms")
+
+
+def run_once(benchmark, fn):
+    """Run a figure exactly once under pytest-benchmark (these sweeps are
+    far too heavy for statistical repetition; the timing recorded is the
+    whole-figure cost)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Figure 10b — CDF of FCTs at 70% load: PASE vs pFabric (left-right).
+
+Paper: at 70% load the two distributions are close in the body; pFabric's
+advantage shows for the shortest flows while its loss-affected tail is
+longer.
+"""
+
+from benchmarks.bench_common import emit, flows, run_once
+from repro.harness import format_cdf, left_right, run_experiment
+
+LOAD = 0.7
+
+
+def run_figure():
+    results = {}
+    for protocol in ("pase", "pfabric"):
+        results[protocol] = run_experiment(
+            protocol, left_right(), LOAD, num_flows=flows(250), seed=42)
+    cdfs = {name: r.stats.fct_cdf() for name, r in results.items()}
+    emit("fig10b_fct_cdf_pfabric", format_cdf(
+        "Figure 10b: FCT CDF at 70% load — PASE vs pFabric", cdfs))
+    return results
+
+
+def test_fig10b_fct_cdf_pfabric(benchmark):
+    results = run_once(benchmark, run_figure)
+    pase, pfab = results["pase"].stats, results["pfabric"].stats
+    # Bodies comparable: median within 3x of each other.
+    assert pase.median_fct < 3 * pfab.median_fct
+    # All flows completed under both.
+    assert pase.completion_fraction == 1.0
+    assert pfab.completion_fraction == 1.0

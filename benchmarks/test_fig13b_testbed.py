@@ -1,0 +1,54 @@
+"""Figure 13b — the (simulated) testbed: PASE vs DCTCP.
+
+Paper §4.4: a single rack of 10 nodes (9 clients, 1 server), 1 Gbps links,
+250 us RTT, 100-packet queues, K = 20, 8 priority queues, flows
+U[100 KB, 500 KB], one long background flow.  PASE achieves ~50-60% lower
+AFCT than DCTCP across loads.  We replace the Linux hosts with the
+simulator (see DESIGN.md), keeping every testbed parameter.
+"""
+
+from benchmarks.bench_common import emit, flows, run_once
+from repro.core import PaseConfig
+from repro.harness import format_series_table, run_experiment
+from repro.harness import testbed as scn_testbed
+from repro.harness.protocols import DctcpBinding
+from repro.sim.queues import REDQueue
+
+LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: Testbed switch settings: 100-packet queues, K = 20.
+PASE_CFG = PaseConfig(queue_capacity_pkts=100, mark_threshold_pkts=20)
+
+
+class DctcpTestbedBinding(DctcpBinding):
+    """DCTCP with the testbed's queue geometry."""
+
+    def queue_factory(self):
+        return lambda: REDQueue(capacity_pkts=100, mark_threshold_pkts=20)
+
+
+def run_figure():
+    results = {"pase": {}, "dctcp": {}}
+    for load in LOADS:
+        results["pase"][load] = run_experiment(
+            "pase", scn_testbed(), load, num_flows=flows(200), seed=42,
+            pase_config=PASE_CFG)
+        scn = scn_testbed()
+        results["dctcp"][load] = run_experiment(
+            "dctcp", scn, load, num_flows=flows(200), seed=42,
+            binding=DctcpTestbedBinding(scn))
+    series = {name: {load: r.afct * 1e3 for load, r in by_load.items()}
+              for name, by_load in results.items()}
+    emit("fig13b_testbed", format_series_table(
+        "Figure 13b: AFCT (ms) — simulated testbed (9 clients -> 1 server)",
+        LOADS, series, unit="ms"))
+    return series
+
+
+def test_fig13b_testbed(benchmark):
+    series = run_once(benchmark, run_figure)
+    # PASE clearly below DCTCP at every load (paper: 50-60% lower).
+    for load in LOADS:
+        assert series["pase"][load] < series["dctcp"][load]
+    mid_improvement = 1 - series["pase"][0.5] / series["dctcp"][0.5]
+    assert mid_improvement > 0.3

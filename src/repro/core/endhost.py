@@ -1,0 +1,345 @@
+"""PASE's end-host transport (§3.2, Algorithm 2).
+
+Built on the shared reliable chassis and DCTCP's alpha estimator, but aware
+of the two arbitration outputs:
+
+* **Reference rate** — a top-queue flow pins its window to ``Rref * RTT``
+  instead of slow-starting; a marked ACK still applies the DCTCP decrease,
+  so endpoints remain self-adjusting when the arbitrator's estimate is off.
+* **Priority queue** — intermediate-queue flows run DCTCP control laws from
+  a one-packet window; bottom-queue flows stay at one packet per RTT.
+
+Two further mechanisms from the paper:
+
+* **Probe-based loss recovery** — a timeout in a non-top queue sends a
+  header-only probe rather than retransmitting data: if the probe's ACK
+  reports the packet missing, it was genuinely lost and is retransmitted;
+  if the probe itself goes unanswered the flow is merely parked behind
+  higher-priority traffic and keeps waiting (with backoff).
+* **Promotion reordering guard** — on moving to a *higher* priority queue,
+  the sender drains in-flight packets before sending at the new priority,
+  avoiding reordering-induced backoff (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.arbitration import ArbitrationResult
+from repro.core.config import PaseConfig
+from repro.core.control_plane import PaseControlPlane
+from repro.sim.engine import Event
+from repro.sim.packet import HEADER_SIZE, Packet, PacketKind
+from repro.transports.base import ReceiverAgent, SenderAgent, TransportConfig
+from repro.transports.dctcp import DctcpAlphaEstimator
+from repro.utils.units import bytes_to_bits
+
+#: PASE receivers are plain receivers: probe replies are part of the shared
+#: chassis (the PASE paper introduced them; see ReceiverAgent._ack_probe).
+PaseReceiver = ReceiverAgent
+
+
+class PaseSender(SenderAgent):
+    """Algorithm 2 rate control driven by (PrioQue, Rref) from arbitration."""
+
+    def __init__(
+        self,
+        sim,
+        host,
+        flow,
+        control_plane: PaseControlPlane,
+        config: Optional[PaseConfig] = None,
+        on_done=None,
+        use_reference_rate: bool = True,
+    ) -> None:
+        #: Fig. 13a ablation ("PASE-DCTCP"): when False the flow still gets
+        #: arbitrated queues but runs DCTCP control laws in every queue,
+        #: ignoring the reference rate.
+        self.use_reference_rate = use_reference_rate
+        self.pase = config or control_plane.config
+        base_cfg = TransportConfig(
+            init_cwnd=1.0,
+            min_rto=self.pase.min_rto_top,
+            slow_start=False,
+        )
+        super().__init__(sim, host, flow, base_cfg, on_done)
+        self.control_plane = control_plane
+        self.nic_rate_bps = control_plane.topology.host_uplink(host).capacity_bps
+        self.estimator = DctcpAlphaEstimator(self.pase.g)
+        self.estimator.begin_window(self.cwnd)
+
+        self.queue_index: int = self.pase.num_data_queues - 1
+        self.reference_rate: float = 0.0
+        self._is_intermediate = False
+        self._pending_queue: Optional[int] = None
+        self._last_reduction_seq = -1
+        self._arb_event: Optional[Event] = None
+        #: Latest known result per path half ("src"/"dst"); the flow obeys
+        #: the merge of the two (lowest queue, smallest reference rate).
+        self._half_results: dict = {}
+        #: No data leaves before the first arbitration response (§3.1.2);
+        #: background flows are exempt (they never arbitrate).
+        self._arbitrated = False
+
+        if flow.background:
+            # Background traffic lives in the reserved bottom class and runs
+            # plain DCTCP laws; it never contacts arbitrators (§3.3).
+            self.queue_index = self.pase.background_queue
+            self._is_intermediate = True
+            self.cwnd = 2.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / arbitration driver
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self.host.attach_sender(self.flow.flow_id, self)
+        if not self.flow.background:
+            self._arbitrate()
+        self.send_window()
+
+    def _arbitrate(self) -> None:
+        self._arb_event = None
+        if self.finished:
+            return
+        if self.pase.early_termination and self._deadline_unreachable():
+            self.terminate()
+            return
+        # The flow starts sending when the source half's *deepest child
+        # arbitrator* has answered (§3.1.2: "a flow starts as soon as it
+        # receives arbitration information from the child arbitrator") —
+        # synchronously for intra-rack, after the ToR round trip otherwise.
+        # Starting on host-local information alone would blast line-rate
+        # top-queue bursts into fabric links the host knows nothing about.
+        self.control_plane.request(
+            self.flow, self._criterion_value(), self._demand(),
+            self._on_arbitration,
+        )
+        self._arb_event = self.sim.schedule(
+            self.pase.arbitration_interval, self._arbitrate)
+
+    def _criterion_value(self) -> float:
+        criterion = self.pase.criterion
+        if criterion == "deadline":
+            deadline = self.flow.absolute_deadline
+            if deadline is None:
+                return float("1e12")
+            if deadline <= self.sim.now:
+                # The deadline is already blown: stop competing with flows
+                # that can still make theirs (EDF would otherwise hand the
+                # top queue to provably useless work).
+                return float("1e9") + deadline
+            return deadline
+        if criterion == "las":
+            # Size-unaware: least attained service first.  Fresh flows win;
+            # flows pay for what they have already received.
+            return float(self.pkts_acked * self.mtu)
+        if criterion == "task":
+            # Tasks in arrival order (task ids are assigned monotonically),
+            # shortest-remaining within a task; task-less flows sort last.
+            task = self.flow.task_id
+            if task is None:
+                return 1e15 + float(self.remaining_bytes)
+            return task * 1e10 + min(float(self.remaining_bytes), 1e10 - 1)
+        return float(self.remaining_bytes)
+
+    def _demand(self) -> float:
+        """Max useful rate: NIC line rate, or less for sub-BDP flows."""
+        rtt = max(self.base_rtt, 1e-9)
+        return min(self.nic_rate_bps, bytes_to_bits(self.remaining_bytes) / rtt)
+
+    def _deadline_unreachable(self) -> bool:
+        """True when even NIC line rate cannot finish before the deadline."""
+        deadline = self.flow.absolute_deadline
+        if deadline is None:
+            return False
+        time_left = deadline - self.sim.now
+        best_case = bytes_to_bits(self.remaining_bytes) / self.nic_rate_bps
+        return best_case > time_left
+
+    def terminate(self) -> None:
+        """Give up on the flow (Early Termination): stop all timers, clear
+        arbitration state, and mark the flow as abandoned.  Capacity the
+        flow would have wasted goes to flows that can still make their
+        deadlines."""
+        if self.finished:
+            return
+        self.flow.terminated = True
+        self.finished = True
+        self._cancel_rto()
+        if self._arb_event is not None:
+            self._arb_event.cancel()
+            self._arb_event = None
+        if not self.flow.background:
+            self.control_plane.notify_complete(self.flow)
+        self.host.detach_flow(self.flow.flow_id)
+        if self.on_done is not None:
+            self.on_done(self.flow)
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        if self._arb_event is not None:
+            self._arb_event.cancel()
+            self._arb_event = None
+        if not self.flow.background:
+            self.control_plane.notify_complete(self.flow)
+        super()._finish()
+
+    # ------------------------------------------------------------------
+    # Applying arbitration decisions
+    # ------------------------------------------------------------------
+    def _on_arbitration(self, half: str, new_result: ArbitrationResult) -> None:
+        if self.finished:
+            return
+        self._arbitrated = True
+        self._half_results[half] = new_result
+        result = new_result
+        for other_half, other in self._half_results.items():
+            if other_half != half:
+                result = result.merge(other)
+        self.reference_rate = result.reference_rate
+        new_queue = min(result.queue, self.pase.num_data_queues - 1)
+        if new_queue < self.queue_index and self.inflight > 0:
+            # Promotion: drain old-priority packets first (reordering guard).
+            self._pending_queue = new_queue
+        else:
+            self._pending_queue = None
+            self._set_queue(new_queue)
+        self.send_window()
+
+    def _set_queue(self, queue: int) -> None:
+        if queue != self.queue_index and self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "queue-change",
+                                   self.flow.flow_id,
+                                   old=self.queue_index, new=queue)
+        self.queue_index = queue
+        if queue == 0:
+            if not self.use_reference_rate:
+                # PASE-DCTCP ablation: DCTCP laws even in the top queue.
+                if not self._is_intermediate:
+                    self._is_intermediate = True
+                    self.cwnd = 2.0
+                return
+            self._is_intermediate = False
+            self.cwnd = max(1.0, self._reference_window())
+        elif queue < self.pase.num_data_queues - 1:
+            if not self._is_intermediate:
+                self._is_intermediate = True
+                self.cwnd = 1.0
+                # DCTCP increase law from a cold window includes slow start:
+                # the flow probes for spare (work-conservation) capacity and
+                # is tamed by ECN marks inside its priority class.  Without
+                # this, intermediate flows crawl at +1 MSS/RTT and the gaps
+                # left by completing top-queue flows go unused.
+                self.ssthresh = self.config.max_cwnd
+        else:
+            self._is_intermediate = False
+            self.cwnd = 1.0
+
+    def _reference_window(self) -> float:
+        """Rref expressed as a window: Rref x RTT, in packets.  Uses the
+        propagation RTT — a queueing-inflated estimate would compound (more
+        window -> more queueing -> more window)."""
+        return self.reference_rate * max(self.base_rtt, 1e-9) / bytes_to_bits(self.mtu)
+
+    def _maybe_complete_promotion(self) -> None:
+        if self._pending_queue is not None and self.inflight == 0:
+            pending = self._pending_queue
+            self._pending_queue = None
+            self._set_queue(pending)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_window(self) -> None:
+        if not self._arbitrated and not self.flow.background:
+            return  # wait for the child arbitrator's first answer
+        self._maybe_complete_promotion()
+        if self._pending_queue is not None:
+            return  # hold fire until the old-priority packets drain
+        super().send_window()
+
+    def decorate_packet(self, pkt: Packet) -> None:
+        pkt.queue_index = self.queue_index
+        pkt.priority = float(self.queue_index)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: window update per ACK
+    # ------------------------------------------------------------------
+    def on_ack_window_update(self, ack: Packet, newly_acked: bool) -> None:
+        if not newly_acked:
+            return
+        self.estimator.observe(ack.ecn_echo, self.cwnd)
+        if ack.ecn_echo and self._may_reduce():
+            self.cwnd = max(1.0, self.cwnd * (1 - self.estimator.alpha / 2))
+            self.ssthresh = max(self.cwnd, 2.0)
+            return
+        if self.flow.background or self._is_intermediate:
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + 1.0, self.config.max_cwnd)
+            else:
+                self.cwnd = min(self.cwnd + 1.0 / max(self.cwnd, 1.0),
+                                self.config.max_cwnd)
+        elif self.queue_index == 0 and self.use_reference_rate:
+            self.cwnd = min(max(1.0, self._reference_window()),
+                            self.config.max_cwnd)
+        else:
+            self.cwnd = 1.0
+
+    def _may_reduce(self) -> bool:
+        if self.cum_ack > self._last_reduction_seq:
+            self._last_reduction_seq = self.next_new
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Loss recovery: queue-dependent RTO + probing
+    # ------------------------------------------------------------------
+    def rto_value(self) -> float:
+        floor = (self.pase.min_rto_top if self.queue_index == 0
+                 else self.pase.min_rto_low)
+        base = max(floor, self.srtt + 4 * self.rttvar)
+        return min(self.config.max_rto, base * (2 ** self._rto_backoff))
+
+    def handle_timeout(self) -> None:
+        if self.queue_index == 0 or not self.pase.probing_enabled:
+            super().handle_timeout()
+            return
+        # Low-priority timeout: probe instead of retransmitting data (§3.2).
+        self._send_probe()
+        self._rearm_rto()
+
+    def _send_probe(self) -> None:
+        probe = Packet(
+            PacketKind.PROBE, self.host.node_id, self.flow.dst,
+            self.flow.flow_id, seq=min(self.cum_ack, self.total_pkts - 1),
+            size=HEADER_SIZE, queue_index=self.queue_index,
+        )
+        probe.priority = float(self.queue_index)
+        probe.sent_time = self.sim.now
+        self.flow.probes_sent += 1
+        self.host.send(probe)
+
+    def handle_special_ack(self, ack: Packet) -> bool:
+        if ack.ack_sacks == -1:
+            # Probe answered but the probed packet never arrived.  The probe
+            # travelled the same FIFO class as the data, so everything sent
+            # before it either arrived (and was SACKed) or was dropped:
+            # declare the whole in-flight set lost so the window can
+            # actually re-send (a stale in-flight set would otherwise pin
+            # the one-packet window shut forever).
+            seq = ack.seq
+            for lost in sorted(self._inflight):
+                if lost not in self._retx_queue and not self._acked[lost]:
+                    self._retx_queue.append(lost)
+            self._inflight.clear()
+            if seq not in self._retx_queue and not self._acked[seq]:
+                self._retx_queue.insert(0, seq)
+            self._rto_backoff = 0
+            self._rearm_rto()
+            self.send_window()
+            return True
+        return False

@@ -1,0 +1,49 @@
+"""Experiment harness: scenarios, protocol bindings, runner, reporting."""
+
+from repro.harness.experiment import ExperimentResult, run_experiment, sweep_loads
+from repro.harness.protocols import PROTOCOL_NAMES, ProtocolBinding, make_binding
+from repro.harness.report import (
+    format_cdf,
+    format_series_table,
+    improvement_row,
+    series_from_results,
+)
+from repro.harness.scenarios import (
+    Scenario,
+    all_to_all_intra_rack,
+    intra_rack,
+    left_right,
+    testbed,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "sweep_loads",
+    "PROTOCOL_NAMES",
+    "ProtocolBinding",
+    "make_binding",
+    "format_cdf",
+    "format_series_table",
+    "improvement_row",
+    "series_from_results",
+    "Scenario",
+    "all_to_all_intra_rack",
+    "intra_rack",
+    "left_right",
+    "testbed",
+]
+
+from repro.harness.replication import (
+    Replication,
+    compare_protocols,
+    replicate,
+    significantly_better,
+)
+
+__all__ += [
+    "Replication",
+    "compare_protocols",
+    "replicate",
+    "significantly_better",
+]

@@ -1,0 +1,145 @@
+"""Command-line experiment runner.
+
+Run any (protocol, scenario, load) combination without writing a script::
+
+    python -m repro.harness.cli --protocol pase --scenario left-right \
+        --load 0.7 --flows 250 --seed 42
+
+    python -m repro.harness.cli --protocol pfabric --scenario all-to-all \
+        --load 0.9 --hosts 20 --fanin 16 --buckets
+
+Scenario names: ``intra-rack``, ``intra-rack-deadlines``, ``all-to-all``,
+``left-right``, ``testbed``.  Output is a compact summary (AFCT, tail,
+loss, deadline throughput) plus optional per-size-bucket statistics and
+control-plane counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import PaseConfig
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.protocols import PROTOCOL_NAMES
+from repro.harness.scenarios import (
+    Scenario,
+    all_to_all_intra_rack,
+    intra_rack,
+    left_right,
+    testbed,
+)
+from repro.metrics.slowdown import bucket_stats
+from repro.utils.units import KB
+
+SCENARIO_NAMES = ("intra-rack", "intra-rack-deadlines", "all-to-all",
+                  "left-right", "testbed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Run one PASE-reproduction experiment.",
+    )
+    parser.add_argument("--protocol", required=True, choices=PROTOCOL_NAMES)
+    parser.add_argument("--scenario", required=True, choices=SCENARIO_NAMES)
+    parser.add_argument("--load", type=float, required=True,
+                        help="offered load as a fraction (0, 1.5]")
+    parser.add_argument("--flows", type=int, default=200,
+                        help="foreground flows to generate (default 200)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="hosts (star scenarios) / hosts per rack (left-right)")
+    parser.add_argument("--fanin", type=int, default=8,
+                        help="incast fan-in for all-to-all (default 8)")
+    parser.add_argument("--criterion", default=None,
+                        choices=("size", "deadline", "las", "task"),
+                        help="override PASE's arbitration criterion")
+    parser.add_argument("--early-termination", action="store_true",
+                        help="terminate deadline-infeasible flows (PASE)")
+    parser.add_argument("--num-queues", type=int, default=None,
+                        help="switch priority queues for PASE (default 8)")
+    parser.add_argument("--buckets", action="store_true",
+                        help="print per-size-bucket FCT statistics")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="extra simulated seconds past the last arrival")
+    return parser
+
+
+def build_scenario(args: argparse.Namespace) -> Scenario:
+    if args.scenario == "intra-rack":
+        return intra_rack(num_hosts=args.hosts or 20)
+    if args.scenario == "intra-rack-deadlines":
+        return intra_rack(num_hosts=args.hosts or 20, with_deadlines=True)
+    if args.scenario == "all-to-all":
+        return all_to_all_intra_rack(num_hosts=args.hosts or 20,
+                                     fanin=args.fanin)
+    if args.scenario == "left-right":
+        return left_right(hosts_per_rack=args.hosts or 40)
+    if args.scenario == "testbed":
+        return testbed(num_hosts=args.hosts or 10)
+    raise ValueError(f"unknown scenario {args.scenario!r}")
+
+
+def build_pase_config(args: argparse.Namespace,
+                      scenario: Scenario) -> Optional[PaseConfig]:
+    overrides = {}
+    if args.criterion:
+        overrides["criterion"] = args.criterion
+    if args.early_termination:
+        overrides["early_termination"] = True
+    if args.num_queues:
+        overrides["num_queues"] = args.num_queues
+    if not overrides:
+        return None
+    overrides.setdefault("criterion", scenario.criterion)
+    return PaseConfig(**overrides)
+
+
+def print_summary(result: ExperimentResult, show_buckets: bool) -> None:
+    stats = result.stats
+    print(f"protocol:   {result.protocol}")
+    print(f"scenario:   {result.scenario}")
+    print(f"load:       {result.load:.0%}")
+    print(f"flows:      {stats.num_flows} "
+          f"(completed {stats.completion_fraction:.1%})")
+    print(f"AFCT:       {stats.afct * 1e3:.3f} ms")
+    print(f"median FCT: {stats.median_fct * 1e3:.3f} ms")
+    print(f"99th FCT:   {stats.p99_fct * 1e3:.3f} ms")
+    print(f"loss rate:  {result.loss_rate:.2%}")
+    if stats.num_deadline_flows:
+        print(f"deadlines:  {stats.application_throughput:.1%} met "
+              f"({stats.num_deadlines_met}/{stats.num_deadline_flows})")
+    if result.control_plane is not None:
+        cp = result.control_plane
+        print(f"control:    {cp.messages} messages "
+              f"({cp.messages_per_sec:.0f}/s), {cp.prunes} prunes")
+    print(f"simulated:  {result.sim_duration * 1e3:.1f} ms "
+          f"({result.events} events in {result.wallclock:.1f} s wall)")
+    if show_buckets:
+        print()
+        print(f"{'size bucket':<20}{'flows':<8}{'mean FCT':<12}{'p99 FCT':<12}")
+        edges = [10 * KB, 50 * KB, 100 * KB, 200 * KB]
+        for b in bucket_stats(result.flows, edges, 1e9, 300e-6):
+            if b.count == 0:
+                continue
+            print(f"{b.label:<20}{b.count:<8}"
+                  f"{b.mean_fct * 1e3:<12.3f}{b.p99_fct * 1e3:<12.3f}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scenario = build_scenario(args)
+    pase_config = build_pase_config(args, scenario)
+    result = run_experiment(
+        args.protocol, scenario, args.load,
+        num_flows=args.flows, seed=args.seed,
+        pase_config=pase_config, horizon=args.horizon,
+    )
+    print_summary(result, args.buckets)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

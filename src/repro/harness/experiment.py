@@ -1,0 +1,171 @@
+"""The experiment runner: one (protocol, scenario, load) → metrics.
+
+``run_experiment`` builds the simulator, topology, and protocol machinery,
+materializes the Poisson workload, launches each flow's agents at its
+arrival time, and runs until every foreground flow completes (or a safety
+horizon passes).  It returns an :class:`ExperimentResult` bundling flow
+records, FCT statistics, loss accounting, and — for PASE — control-plane
+overhead counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core import PaseConfig
+from repro.core.control_plane import PaseControlPlane
+from repro.metrics.overhead import ControlPlaneCounters, NetworkCounters
+from repro.metrics.stats import FlowStats
+from repro.sim.engine import Simulator
+from repro.transports.flow import Flow
+from repro.workloads.generator import WorkloadConfig, generate_workload
+
+from repro.harness.protocols import ProtocolBinding, make_binding
+from repro.harness.scenarios import Scenario
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one run."""
+
+    protocol: str
+    scenario: str
+    load: float
+    flows: List[Flow]
+    stats: FlowStats
+    network: NetworkCounters
+    control_plane: Optional[ControlPlaneCounters]
+    sim_duration: float
+    wallclock: float
+    events: int
+
+    @property
+    def afct(self) -> float:
+        return self.stats.afct
+
+    @property
+    def p99_fct(self) -> float:
+        return self.stats.p99_fct
+
+    @property
+    def application_throughput(self) -> float:
+        return self.stats.application_throughput
+
+    @property
+    def loss_rate(self) -> float:
+        return self.network.loss_rate
+
+
+def run_experiment(
+    protocol: str,
+    scenario: Scenario,
+    load: float,
+    num_flows: int = 300,
+    seed: int = 1,
+    pase_config: Optional[PaseConfig] = None,
+    horizon: Optional[float] = None,
+    binding: Optional[ProtocolBinding] = None,
+    **binding_overrides,
+) -> ExperimentResult:
+    """Run one experiment and collect its metrics.
+
+    ``horizon`` caps simulated time past the last arrival (default 2 s) so a
+    protocol that strands flows still terminates; stranded flows show up in
+    ``stats.completion_fraction`` and count as missed deadlines.
+    """
+    sim = Simulator()
+    if binding is None:
+        binding = make_binding(protocol, scenario, pase_config, **binding_overrides)
+    topology = scenario.build_topology(sim, binding.queue_factory())
+    binding.setup_network(sim, topology)
+
+    pattern = scenario.build_pattern(topology)
+    workload = WorkloadConfig(
+        pattern=pattern,
+        size_dist=scenario.size_dist,
+        load=load,
+        num_flows=num_flows,
+        seed=seed,
+        deadline_dist=scenario.deadline_dist,
+        num_background_flows=scenario.num_background_flows,
+    )
+    flows = generate_workload(workload)
+    foreground = [f for f in flows if not f.background]
+    remaining = len(foreground)
+
+    def on_complete(_flow: Flow) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            sim.stop()
+
+    def on_sender_done(flow: Flow) -> None:
+        # Early-terminated flows never reach the receiver-side completion
+        # callback; count them here so the run still ends promptly.
+        if flow.terminated and not flow.completed and not flow.background:
+            on_complete(flow)
+
+    def launch(flow: Flow) -> None:
+        dst_host = topology.network.nodes[flow.dst]
+        src_host = topology.network.nodes[flow.src]
+        done = None if flow.background else on_complete
+        binding.make_receiver(sim, dst_host, flow, done)
+        sender = binding.make_sender(sim, src_host, flow, on_done=on_sender_done)
+        sender.start()
+
+    for flow in flows:
+        sim.schedule_at(flow.start_time, launch, flow)
+
+    last_arrival = max(f.start_time for f in flows)
+    cap = last_arrival + (2.0 if horizon is None else horizon)
+    start_wall = time.perf_counter()
+    sim.run(until=cap)
+    wallclock = time.perf_counter() - start_wall
+
+    duration = sim.now
+    control: Optional[ControlPlaneCounters] = None
+    cp = getattr(binding, "control_plane", None)
+    if isinstance(cp, PaseControlPlane):
+        control = ControlPlaneCounters(
+            messages=cp.messages_sent,
+            messages_by_level=dict(cp.messages_by_level),
+            requests=cp.requests_started,
+            prunes=cp.prunes,
+            duration=duration,
+            processed_by_level=dict(cp.processed_by_level),
+        )
+
+    return ExperimentResult(
+        protocol=protocol,
+        scenario=scenario.name,
+        load=load,
+        flows=flows,
+        stats=FlowStats.from_flows(flows),
+        network=NetworkCounters.from_network(topology.network, duration),
+        control_plane=control,
+        sim_duration=duration,
+        wallclock=wallclock,
+        events=sim.events_processed,
+    )
+
+
+def sweep_loads(
+    protocol: str,
+    scenario_factory,
+    loads,
+    num_flows: int = 300,
+    seed: int = 1,
+    pase_config: Optional[PaseConfig] = None,
+    **kwargs,
+) -> Dict[float, ExperimentResult]:
+    """Run ``protocol`` across ``loads``; a fresh scenario per point keeps
+    runs independent.  ``scenario_factory`` is a zero-argument callable."""
+    results: Dict[float, ExperimentResult] = {}
+    for load in loads:
+        results[load] = run_experiment(
+            protocol, scenario_factory(), load,
+            num_flows=num_flows, seed=seed, pase_config=pase_config, **kwargs,
+        )
+    return results

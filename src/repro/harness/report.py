@@ -1,0 +1,84 @@
+"""Paper-style result formatting.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent so EXPERIMENTS.md can be assembled
+from benchmark output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.harness.experiment import ExperimentResult
+
+
+def format_series_table(
+    title: str,
+    loads: Sequence[float],
+    series: Mapping[str, Mapping[float, float]],
+    unit: str = "",
+    precision: int = 3,
+) -> str:
+    """Render load-vs-metric series (one column per protocol) as a table.
+
+    ``series`` maps protocol name -> {load: value}.
+    """
+    names = list(series.keys())
+    header = ["load(%)"] + [f"{n}{unit and f' ({unit})'}" for n in names]
+    widths = [max(9, len(h) + 1) for h in header]
+    lines = [title, "-" * len(title)]
+    lines.append("".join(h.ljust(w) for h, w in zip(header, widths)))
+    for load in loads:
+        row = [f"{load * 100:.0f}"]
+        for name in names:
+            value = series[name].get(load, float("nan"))
+            row.append(f"{value:.{precision}f}")
+        lines.append("".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_from_results(
+    results: Mapping[str, Mapping[float, ExperimentResult]],
+    metric: str,
+    scale: float = 1.0,
+) -> Dict[str, Dict[float, float]]:
+    """Extract ``metric`` (an ExperimentResult attribute) per protocol/load."""
+    out: Dict[str, Dict[float, float]] = {}
+    for protocol, by_load in results.items():
+        out[protocol] = {
+            load: getattr(result, metric) * scale
+            for load, result in by_load.items()
+        }
+    return out
+
+
+def format_cdf(title: str, cdfs: Mapping[str, Iterable[tuple]], unit: str = "ms") -> str:
+    """Render FCT CDFs side by side at decile resolution."""
+    lines = [title, "-" * len(title)]
+    deciles = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]
+    header = ["fraction"] + list(cdfs.keys())
+    lines.append("".join(h.ljust(14) for h in header))
+    materialized = {name: list(points) for name, points in cdfs.items()}
+    for q in deciles:
+        row = [f"{q:.2f}"]
+        for name in cdfs:
+            points = materialized[name]
+            value = next((fct for fct, frac in points if frac >= q), float("nan"))
+            row.append(f"{value * 1e3:.3f}{unit}" if unit == "ms" else f"{value:.4f}")
+        lines.append("".join(c.ljust(14) for c in row))
+    return "\n".join(lines)
+
+
+def improvement_row(
+    loads: Sequence[float],
+    baseline: Mapping[float, ExperimentResult],
+    candidate: Mapping[float, ExperimentResult],
+) -> List[float]:
+    """Percent AFCT improvement of candidate over baseline per load (the
+    annotations printed above Fig. 10c's bars)."""
+    out = []
+    for load in loads:
+        b = baseline[load].afct
+        c = candidate[load].afct
+        out.append(100.0 * (b - c) / b if b and b == b else float("nan"))
+    return out

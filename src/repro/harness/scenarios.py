@@ -1,0 +1,203 @@
+"""Canonical evaluation scenarios from the paper (§4.1, §4.4).
+
+Each :class:`Scenario` knows how to build its topology (given a queue
+factory, which the protocol binding supplies) and its traffic pattern, and
+carries the flow-size/deadline distributions and background-flow count.
+
+Scale note: the paper simulates 160 hosts in ns2.  A pure-Python packet
+simulator is orders of magnitude slower, so the default constructors here
+shrink host counts while preserving the *ratios* that drive the results —
+the 4:1 ToR oversubscription and 8:1 left-right core contention, the same
+flow-size distributions, the same load points.  Every constructor takes the
+size parameters explicitly so full-scale runs remain one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import QueueFactory
+from repro.sim.topology import (
+    StarTopology,
+    Topology,
+    TreeTopology,
+    TreeTopologyConfig,
+)
+from repro.utils.units import GBPS, KB, MSEC, USEC
+from repro.workloads.distributions import (
+    DeadlineDistribution,
+    SizeDistribution,
+    UniformSizeDistribution,
+)
+from repro.workloads.patterns import (
+    AllToAllIntraRack,
+    IncastAllToAll,
+    IntraRackRandom,
+    LeftRight,
+    ManyToOne,
+    TrafficPattern,
+)
+
+
+@dataclass
+class Scenario:
+    """One named evaluation setup."""
+
+    name: str
+    build_topology: Callable[[Simulator, QueueFactory], Topology]
+    build_pattern: Callable[[Topology], TrafficPattern]
+    size_dist: SizeDistribution
+    deadline_dist: Optional[DeadlineDistribution] = None
+    num_background_flows: int = 0
+    #: Nominal propagation RTT used to seed transports' initial estimates.
+    base_rtt: float = 300 * USEC
+    #: "deadline" scenarios arbitrate EDF; "size" scenarios SJF.
+    criterion: str = "size"
+
+
+def intra_rack(
+    num_hosts: int = 20,
+    link_bps: float = 1 * GBPS,
+    rtt: float = 300 * USEC,
+    sizes: Optional[SizeDistribution] = None,
+    with_deadlines: bool = False,
+    num_background_flows: int = 2,
+) -> Scenario:
+    """The D2TCP-replication scenario (§2, Fig. 1; §4.2.1, Fig. 9c):
+    intra-rack random pairs, flow sizes U[100 KB, 500 KB], deadlines
+    U[5 ms, 25 ms], two long background flows."""
+    size_dist = sizes or UniformSizeDistribution(100 * KB, 500 * KB)
+    deadline_dist = DeadlineDistribution(5 * MSEC, 25 * MSEC) if with_deadlines else None
+
+    def topology(sim: Simulator, queue_factory: QueueFactory) -> Topology:
+        return StarTopology(sim, num_hosts, link_bps, rtt, queue_factory)
+
+    def pattern(topo: Topology) -> TrafficPattern:
+        return IntraRackRandom(topo.host_ids(), link_bps)
+
+    return Scenario(
+        name=f"intra_rack[{num_hosts}]",
+        build_topology=topology,
+        build_pattern=pattern,
+        size_dist=size_dist,
+        deadline_dist=deadline_dist,
+        num_background_flows=num_background_flows,
+        base_rtt=rtt,
+        criterion="deadline" if with_deadlines else "size",
+    )
+
+
+def all_to_all_intra_rack(
+    num_hosts: int = 20,
+    link_bps: float = 1 * GBPS,
+    rtt: float = 300 * USEC,
+    sizes: Optional[SizeDistribution] = None,
+    num_background_flows: int = 0,
+    fanin: int = 8,
+) -> Scenario:
+    """The search-application worker/aggregator interaction (§2.1 Fig. 4;
+    §4.2.2 Fig. 10c): each query makes ``fanin`` workers answer the next
+    round-robin aggregator simultaneously (partition-aggregate incast),
+    flows U[2 KB, 198 KB].  ``fanin=0`` means every other host responds
+    (the paper's full all-to-all); ``fanin=1`` degenerates to unsynchronized
+    random worker/aggregator pairs."""
+    size_dist = sizes or UniformSizeDistribution(2 * KB, 198 * KB)
+
+    def topology(sim: Simulator, queue_factory: QueueFactory) -> Topology:
+        return StarTopology(sim, num_hosts, link_bps, rtt, queue_factory)
+
+    def pattern(topo: Topology) -> TrafficPattern:
+        if fanin == 1:
+            return AllToAllIntraRack(topo.host_ids(), link_bps)
+        return IncastAllToAll(topo.host_ids(), link_bps, fanin=fanin)
+
+    return Scenario(
+        name=f"all_to_all[{num_hosts},fanin={fanin}]",
+        build_topology=topology,
+        build_pattern=pattern,
+        size_dist=size_dist,
+        num_background_flows=num_background_flows,
+        base_rtt=rtt,
+    )
+
+
+def left_right(
+    hosts_per_rack: int = 40,
+    num_racks: int = 4,
+    racks_per_agg: int = 2,
+    host_link_bps: float = 1 * GBPS,
+    core_rtt: float = 300 * USEC,
+    sizes: Optional[SizeDistribution] = None,
+    num_background_flows: int = 2,
+) -> Scenario:
+    """The inter-rack scenario (§4.2.1, Figs. 9a/9b/10a/10b/11/12): every
+    left-subtree host sends to right-subtree hosts; the left aggregation's
+    core uplink is the bottleneck.
+
+    The fabric capacity is derived from the rack size to preserve the
+    paper's ratios: ToR uplinks carry ``hosts_per_rack`` access links at 4:1
+    oversubscription, which reproduces the paper's 40-hosts / 10 Gbps
+    geometry at any scale.  The default IS the paper's scale (160 hosts) —
+    simulation cost scales with flow count, not host count — but note that
+    shrinking ``hosts_per_rack`` below ~10 narrows the fabric below a few
+    NIC widths and qualitatively changes scheduling dynamics (the top
+    priority queue then fits a single flow's demand).
+    """
+    size_dist = sizes or UniformSizeDistribution(2 * KB, 198 * KB)
+    fabric_bps = hosts_per_rack * host_link_bps / 4
+
+    def topology(sim: Simulator, queue_factory: QueueFactory) -> Topology:
+        cfg = TreeTopologyConfig(
+            num_racks=num_racks,
+            racks_per_agg=racks_per_agg,
+            hosts_per_rack=hosts_per_rack,
+            host_link_bps=host_link_bps,
+            fabric_link_bps=fabric_bps,
+            core_rtt=core_rtt,
+        )
+        return TreeTopology(sim, cfg, queue_factory)
+
+    def pattern(topo: Topology) -> TrafficPattern:
+        assert isinstance(topo, TreeTopology)
+        left = [h.node_id for h in topo.left_hosts()]
+        right = [h.node_id for h in topo.right_hosts()]
+        return LeftRight(left, right, fabric_bps)
+
+    return Scenario(
+        name=f"left_right[{hosts_per_rack}x{num_racks}]",
+        build_topology=topology,
+        build_pattern=pattern,
+        size_dist=size_dist,
+        num_background_flows=num_background_flows,
+        base_rtt=core_rtt,
+    )
+
+
+def testbed(
+    num_hosts: int = 10,
+    link_bps: float = 1 * GBPS,
+    rtt: float = 250 * USEC,
+) -> Scenario:
+    """The simulated stand-in for the paper's Linux testbed (§4.4,
+    Fig. 13b): one rack, nine clients sending U[100 KB, 500 KB] flows to a
+    single server, one long-lived background flow, 100-packet queues with
+    K = 20 (handled by the protocol binding's testbed queue settings)."""
+    size_dist = UniformSizeDistribution(100 * KB, 500 * KB)
+
+    def topology(sim: Simulator, queue_factory: QueueFactory) -> Topology:
+        return StarTopology(sim, num_hosts, link_bps, rtt, queue_factory)
+
+    def pattern(topo: Topology) -> TrafficPattern:
+        ids = topo.host_ids()
+        return ManyToOne(ids[:-1], ids[-1], link_bps)
+
+    return Scenario(
+        name=f"testbed[{num_hosts}]",
+        build_topology=topology,
+        build_pattern=pattern,
+        size_dist=size_dist,
+        num_background_flows=1,
+        base_rtt=rtt,
+    )

@@ -1,0 +1,35 @@
+"""Measurement: FCT statistics, deadline throughput, loss and control
+overhead accounting."""
+
+from repro.metrics.overhead import (
+    ControlPlaneCounters,
+    NetworkCounters,
+    overhead_reduction,
+)
+from repro.metrics.slowdown import (
+    BucketStats,
+    bucket_stats,
+    ideal_fct,
+    jain_fairness,
+    slowdowns,
+    throughputs,
+)
+from repro.metrics.stats import FlowStats, afct_improvement, percentile
+from repro.metrics.timeseries import Series, TimeSeriesProbe
+
+__all__ = [
+    "ControlPlaneCounters",
+    "NetworkCounters",
+    "overhead_reduction",
+    "FlowStats",
+    "afct_improvement",
+    "percentile",
+    "BucketStats",
+    "bucket_stats",
+    "ideal_fct",
+    "jain_fairness",
+    "slowdowns",
+    "throughputs",
+    "Series",
+    "TimeSeriesProbe",
+]

@@ -1,0 +1,154 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)`` tuples
+in a binary heap.  The sequence number breaks ties deterministically so runs
+with the same seed replay identically, which the test suite relies on.
+
+Cancellation is lazy: :meth:`Event.cancel` marks the event and the loop skips
+it when popped.  This keeps the heap operations O(log n) and avoids the cost
+of re-heapifying, which matters because transports cancel and re-arm
+retransmission timers on every ACK.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so the
+    caller can cancel it later (e.g. a retransmission timer)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the loop discards it instead of firing it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+
+
+class Simulator:
+    """The event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(0.001, my_callback, arg1, arg2)
+        sim.run(until=1.0)
+
+    All model components hold a reference to the one ``Simulator`` instance
+    and read the current virtual time from :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        #: Optional :class:`repro.sim.trace.Tracer`; instrumented components
+        #: record drops/timeouts/queue-changes here when one is attached.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled for the current instant (FIFO within a
+        timestamp).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time!r}, current time is {self.now!r}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``
+        events have fired.  Returns the number of events processed by this
+        call."""
+        processed = 0
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        try:
+            while heap:
+                if self._stopped:
+                    break
+                event = heap[0]
+                if until is not None and event.time > until:
+                    # Advance the clock to the horizon so repeated run() calls
+                    # observe monotonic time.
+                    self.now = until
+                    break
+                heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.fn(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return processed
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after the event in
+        flight completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones that
+        have not yet been popped)."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired over the simulator's lifetime."""
+        return self._events_processed
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` if the heap is
+        empty.  Skips over cancelled events without firing anything."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

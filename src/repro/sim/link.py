@@ -1,0 +1,115 @@
+"""Unidirectional link with an egress queue and a store-and-forward model.
+
+A :class:`Link` owns the egress queue discipline of the upstream node's port.
+Packets are serialized at the link capacity (transmission delay) and then
+delivered to the downstream node after the propagation delay.  A duplex cable
+is simply two ``Link`` objects.
+
+Optional per-packet *processors* run when a packet is offered to the link —
+this is how PDQ's in-switch rate controller observes and stamps packet
+headers without the core simulator knowing anything about PDQ.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol
+
+from repro.sim.packet import Packet
+from repro.sim.queues import QueueDiscipline
+from repro.utils.units import transmission_delay
+from repro.utils.validation import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+
+class LinkProcessor(Protocol):
+    """Hook interface invoked for every packet offered to a link."""
+
+    def process(self, pkt: Packet, link: "Link") -> None: ...
+
+
+class Link:
+    """One direction of a cable between two nodes."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        src: "Node",
+        dst: "Node",
+        capacity_bps: float,
+        prop_delay: float,
+        queue: QueueDiscipline,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.capacity_bps = check_positive("capacity_bps", capacity_bps)
+        self.prop_delay = check_non_negative("prop_delay", prop_delay)
+        self.queue = queue
+        self.busy = False
+        self.processors: List[LinkProcessor] = []
+        # Counters for utilization / loss accounting.
+        self.bytes_sent: int = 0
+        self.pkts_sent: int = 0
+        self.data_pkts_offered: int = 0
+        self.busy_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Offer a packet to this link's egress queue.
+
+        Returns ``False`` if the queue discipline dropped it.  Transmission
+        starts immediately when the line is idle.
+        """
+        for proc in self.processors:
+            proc.process(pkt, self)
+        if pkt.kind == 0:  # PacketKind.DATA — avoid enum lookup in hot path
+            self.data_pkts_offered += 1
+        accepted = self.queue.enqueue(pkt)
+        if accepted:
+            if not self.busy:
+                self._transmit_next()
+        elif self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "drop", self.name,
+                                   flow=pkt.flow_id, seq=pkt.seq,
+                                   kind=int(pkt.kind))
+        return accepted
+
+    def _transmit_next(self) -> None:
+        pkt = self.queue.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_delay = transmission_delay(pkt.size, self.capacity_bps)
+        self.busy_time += tx_delay
+        self.sim.schedule(tx_delay, self._transmission_done, pkt)
+
+    def _transmission_done(self, pkt: Packet) -> None:
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        # Hand off to the wire; reception happens after propagation.
+        self.sim.schedule(self.prop_delay, self.dst.receive, pkt, self)
+        self._transmit_next()
+
+    # ------------------------------------------------------------------
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of ``elapsed`` (default: sim.now) the line was busy."""
+        horizon = self.sim.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered data packets dropped at this egress queue."""
+        if self.data_pkts_offered == 0:
+            return 0.0
+        return self.queue.drops / self.data_pkts_offered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.capacity_bps/1e9:.1f} Gbps)"

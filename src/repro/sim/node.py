@@ -1,0 +1,123 @@
+"""Network nodes: hosts and switches.
+
+* A :class:`Switch` forwards packets along its static routing table (the
+  topologies in the paper are trees, so single-path routing suffices).
+* A :class:`Host` terminates transports: data/probe packets are demuxed to a
+  per-flow receiver agent, ACKs to the sender agent.  Hosts also expose a
+  ``control_handler`` hook used when arbitration control traffic is sent
+  through the data plane.
+
+Agents register with their host through :meth:`Host.attach_sender` /
+:meth:`Host.attach_receiver`; the transport layer defines the agent API
+(see :mod:`repro.transports.base`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.sim.packet import Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+
+
+class Node:
+    """Base class: anything with an id that can receive packets."""
+
+    def __init__(self, sim: "Simulator", node_id: int, name: str) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+        #: Static routing: destination host id -> egress link (primary path).
+        self.routes: Dict[int, "Link"] = {}
+        #: ECMP: destination host id -> all equal-cost egress links.  Only
+        #: populated when the topology was built with multipath enabled;
+        #: flows hash onto one member so a flow never reorders across paths.
+        self.multipath_routes: Dict[int, list] = {}
+
+    def receive(self, pkt: Packet, from_link: "Link") -> None:
+        raise NotImplementedError
+
+    def egress_for(self, dst: int, flow_id: int = 0) -> "Link":
+        candidates = self.multipath_routes.get(dst)
+        if candidates:
+            return candidates[hash((flow_id, dst)) % len(candidates)]
+        try:
+            return self.routes[dst]
+        except KeyError:
+            raise KeyError(f"{self.name}: no route to host {dst}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class Switch(Node):
+    """Output-queued switch: forward to the egress link for the destination
+    (flow-hashed among equal-cost links under ECMP)."""
+
+    def receive(self, pkt: Packet, from_link: "Link") -> None:
+        self.egress_for(pkt.dst, pkt.flow_id).send(pkt)
+
+
+class Host(Node):
+    """An end host running transport agents.
+
+    ``packets_delivered``/``packets_dropped_local`` counters support tests
+    that assert end-to-end conservation.
+    """
+
+    def __init__(self, sim: "Simulator", node_id: int, name: str) -> None:
+        super().__init__(sim, node_id, name)
+        self._senders: Dict[int, "ReceiverLike"] = {}
+        self._receivers: Dict[int, "ReceiverLike"] = {}
+        #: Invoked for CONTROL packets addressed to this host.
+        self.control_handler: Optional[Callable[[Packet], None]] = None
+        self.packets_delivered = 0
+        self.unroutable_packets = 0
+
+    # -- agent registry -------------------------------------------------
+    def attach_sender(self, flow_id: int, agent: "ReceiverLike") -> None:
+        self._senders[flow_id] = agent
+
+    def attach_receiver(self, flow_id: int, agent: "ReceiverLike") -> None:
+        self._receivers[flow_id] = agent
+
+    def detach_flow(self, flow_id: int) -> None:
+        """Forget a completed flow's agents (keeps long runs memory-flat)."""
+        self._senders.pop(flow_id, None)
+        self._receivers.pop(flow_id, None)
+
+    # -- datapath --------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Transmit a locally generated packet toward ``pkt.dst``."""
+        if pkt.dst == self.node_id:
+            # Same-host flows never traverse the fabric; deliver immediately.
+            self.sim.schedule(0.0, self.receive, pkt, None)
+            return True
+        return self.egress_for(pkt.dst).send(pkt)
+
+    def receive(self, pkt: Packet, from_link: Optional["Link"]) -> None:
+        self.packets_delivered += 1
+        kind = pkt.kind
+        if kind == PacketKind.ACK:
+            agent = self._senders.get(pkt.flow_id)
+        elif kind == PacketKind.CONTROL:
+            if self.control_handler is not None:
+                self.control_handler(pkt)
+            return
+        else:  # DATA or PROBE terminate at the receiver agent
+            agent = self._receivers.get(pkt.flow_id)
+        if agent is None:
+            # Stale packet for an already-detached flow; count and drop.
+            self.unroutable_packets += 1
+            return
+        agent.on_packet(pkt)
+
+
+class ReceiverLike:
+    """Duck-type for transport agents attachable to a host."""
+
+    def on_packet(self, pkt: Packet) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,80 @@
+"""Structured event tracing.
+
+Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer()``) and the
+instrumented components record noteworthy events: packet drops at egress
+queues, retransmission timeouts, PASE queue reassignments.  Tracing is
+opt-in — with no tracer attached the instrumentation is a single attribute
+check per event.
+
+Categories currently emitted by the library:
+
+* ``"drop"``     — an egress queue rejected a packet (subject: link name),
+* ``"timeout"``  — a sender's RTO fired (subject: flow id),
+* ``"retransmit"`` — a data packet was retransmitted (subject: flow id),
+* ``"queue-change"`` — a PASE flow moved priority class (subject: flow id).
+
+User code can record its own categories through :meth:`Tracer.record`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence."""
+
+    time: float
+    category: str
+    subject: Any
+    details: tuple  # sorted (key, value) pairs; hashable and cheap
+
+    def detail(self, key: str, default=None):
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, optionally filtered by
+    category (pass ``categories`` to record only those)."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 max_events: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None)
+        self.max_events = max_events
+        self.dropped_records = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def record(self, time: float, category: str, subject: Any, **details) -> None:
+        if not self.wants(category):
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_records += 1
+            return
+        self.events.append(TraceEvent(
+            time, category, subject, tuple(sorted(details.items()))))
+
+    # -- queries ------------------------------------------------------------
+    def of(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def about(self, subject: Any) -> List[TraceEvent]:
+        return [e for e in self.events if e.subject == subject]
+
+    def count(self, category: str) -> int:
+        return sum(1 for e in self.events if e.category == category)
+
+    def flow_timeline(self, flow_id: int) -> List[TraceEvent]:
+        """All events about one flow, in time order."""
+        return sorted(self.about(flow_id), key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.events)

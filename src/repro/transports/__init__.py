@@ -1,0 +1,72 @@
+"""End-host transport protocols.
+
+The baselines the paper compares against (each built on the shared reliable
+chassis in :mod:`repro.transports.base`):
+
+* :mod:`~repro.transports.tcp` — plain Reno (reference / testing),
+* :mod:`~repro.transports.dctcp` — DCTCP (self-adjusting endpoints),
+* :mod:`~repro.transports.d2tcp` — deadline-aware DCTCP,
+* :mod:`~repro.transports.l2dct` — size-aware DCTCP,
+* :mod:`~repro.transports.pdq` — explicit-rate arbitration,
+* :mod:`~repro.transports.pfabric` — in-network prioritization.
+
+PASE itself lives in :mod:`repro.core`.
+"""
+
+from repro.transports.base import (
+    ReceiverAgent,
+    SenderAgent,
+    TransportConfig,
+)
+from repro.transports.d3 import (
+    D3Config,
+    D3LinkAllocator,
+    D3Receiver,
+    D3Sender,
+    install_d3_allocators,
+)
+from repro.transports.dctcp import DctcpConfig, DctcpSender
+from repro.transports.d2tcp import D2tcpConfig, D2tcpSender
+from repro.transports.flow import Flow
+from repro.transports.l2dct import L2dctConfig, L2dctSender
+from repro.transports.pdq import (
+    PdqConfig,
+    PdqLinkScheduler,
+    PdqReceiver,
+    PdqSender,
+    install_pdq_schedulers,
+)
+from repro.transports.pfabric import (
+    PfabricConfig,
+    PfabricSender,
+    pfabric_queue_factory,
+)
+from repro.transports.tcp import TcpConfig, TcpSender
+
+__all__ = [
+    "Flow",
+    "ReceiverAgent",
+    "SenderAgent",
+    "TransportConfig",
+    "TcpConfig",
+    "TcpSender",
+    "D3Config",
+    "D3LinkAllocator",
+    "D3Receiver",
+    "D3Sender",
+    "install_d3_allocators",
+    "DctcpConfig",
+    "DctcpSender",
+    "D2tcpConfig",
+    "D2tcpSender",
+    "L2dctConfig",
+    "L2dctSender",
+    "PdqConfig",
+    "PdqLinkScheduler",
+    "PdqReceiver",
+    "PdqSender",
+    "install_pdq_schedulers",
+    "PfabricConfig",
+    "PfabricSender",
+    "pfabric_queue_factory",
+]

@@ -1,0 +1,402 @@
+"""Reliable window-based transport base.
+
+Every protocol in the paper (DCTCP, D2TCP, L2DCT, pFabric, PASE's end-host
+transport) is a window-based, per-packet-ACKed transport differing only in
+how the window reacts to ACKs, ECN marks, losses, and timeouts.  This module
+implements the shared machinery once:
+
+* selective per-packet ACKs with a cumulative ack number,
+* fast retransmit after ``dupack_threshold`` duplicate cumulative ACKs
+  (one recovery episode per window, NewReno-style),
+* a single retransmission timer with exponential backoff,
+* EWMA RTT estimation from non-retransmitted packets,
+* completion detection on both ends.
+
+Subclasses override the small hook surface at the bottom of
+:class:`SenderAgent` (``decorate_packet``, ``on_ack_window_update``,
+``on_fast_retransmit``, ``on_timeout_window_update``).  PDQ replaces the
+window engine with pacing but reuses the receiver and reliability state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.packet import (
+    HEADER_SIZE,
+    Packet,
+    PacketKind,
+    make_ack_packet,
+    make_data_packet,
+)
+from repro.transports.flow import Flow
+from repro.utils.units import MSEC, USEC
+from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import Host
+
+#: Callback fired by the receiver when the final data packet lands.
+CompletionCallback = Callable[[Flow], None]
+
+
+@dataclass
+class TransportConfig:
+    """Knobs shared by all window-based transports (Table 3 defaults are in
+    each protocol's own config subclass)."""
+
+    init_cwnd: float = 2.0
+    max_cwnd: float = 1_000.0
+    min_rto: float = 10 * MSEC
+    max_rto: float = 2.0
+    dupack_threshold: int = 3
+    #: Initial smoothed-RTT guess before any sample arrives.
+    initial_rtt: float = 300 * USEC
+    #: Enable classic slow start below ``ssthresh``.
+    slow_start: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("init_cwnd", self.init_cwnd)
+        check_positive("min_rto", self.min_rto)
+        check_positive("initial_rtt", self.initial_rtt)
+
+
+class ReceiverAgent:
+    """Receives DATA/PROBE packets, sends ACKs, detects completion."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        flow: Flow,
+        on_complete: Optional[CompletionCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.on_complete = on_complete
+        self.total_pkts = flow.total_pkts
+        self._received: List[bool] = [False] * self.total_pkts
+        self._num_received = 0
+        self._cum_ack = 0
+        host.attach_receiver(flow.flow_id, self)
+
+    @property
+    def cum_ack(self) -> int:
+        return self._cum_ack
+
+    @property
+    def num_received(self) -> int:
+        return self._num_received
+
+    def on_packet(self, pkt: Packet) -> None:
+        if pkt.kind == PacketKind.PROBE:
+            self._ack_probe(pkt)
+            return
+        seq = pkt.seq
+        if 0 <= seq < self.total_pkts and not self._received[seq]:
+            self._received[seq] = True
+            self._num_received += 1
+            while self._cum_ack < self.total_pkts and self._received[self._cum_ack]:
+                self._cum_ack += 1
+            if self._num_received == self.total_pkts and not self.flow.completed:
+                self.flow.completion_time = self.sim.now
+                if self.on_complete is not None:
+                    self.on_complete(self.flow)
+        ack = make_ack_packet(pkt, self._cum_ack, queue_index=pkt.queue_index)
+        self.host.send(ack)
+
+    def _ack_probe(self, probe: Packet) -> None:
+        """Answer a PASE-style probe: echo whether ``probe.seq`` has arrived.
+
+        ``ack_sacks`` carries the probed seq when the data was received and
+        -1 when it was not, letting the sender distinguish "lost" from
+        "still queued behind higher priorities" (paper §3.2).
+        """
+        ack = make_ack_packet(probe, self._cum_ack, queue_index=probe.queue_index)
+        got_it = 0 <= probe.seq < self.total_pkts and self._received[probe.seq]
+        ack.ack_sacks = probe.seq if got_it else -1
+        self.host.send(ack)
+
+
+class SenderAgent:
+    """Window-based reliable sender with protocol hooks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        flow: Flow,
+        config: Optional[TransportConfig] = None,
+        on_done: Optional[CompletionCallback] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.config = config or TransportConfig()
+        self.on_done = on_done
+        self.total_pkts = flow.total_pkts
+        self.mtu = flow.mtu
+
+        # -- window state ------------------------------------------------
+        self.cwnd: float = self.config.init_cwnd
+        self.ssthresh: float = self.config.max_cwnd
+        self.next_new: int = 0
+        self._acked: List[bool] = [False] * self.total_pkts
+        self.pkts_acked: int = 0
+        self.cum_ack: int = 0
+        self._inflight: set = set()
+        self._retx_queue: List[int] = []
+        self._dupacks: int = 0
+        self._recovery_until: int = -1
+
+        # -- RTT / RTO ---------------------------------------------------
+        self.srtt: float = self.config.initial_rtt
+        self.rttvar: float = self.config.initial_rtt / 2
+        #: Minimum RTT sample seen — approximates the propagation RTT
+        #: (queueing-free), which rate-to-window conversions should use.
+        self._rtt_min_sample: Optional[float] = None
+        self._rto_backoff: int = 0
+        self._rto_event: Optional[Event] = None
+
+        self.started = False
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register with the host and open the window."""
+        if self.started:
+            return
+        self.started = True
+        self.host.attach_sender(self.flow.flow_id, self)
+        self.send_window()
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._cancel_rto()
+        self.host.detach_flow(self.flow.flow_id)
+        if self.on_done is not None:
+            self.on_done(self.flow)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes not yet cumulatively acknowledged."""
+        return max(0, self.flow.size_bytes - self.cum_ack * self.mtu)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def usable_window(self) -> int:
+        return max(0, int(self.cwnd) - self.inflight)
+
+    def send_window(self) -> None:
+        """Transmit as many packets as the window allows (retransmissions
+        take precedence over new data)."""
+        if self.finished:
+            return
+        budget = self.usable_window()
+        while budget > 0:
+            item = self._next_seq_to_send()
+            if item is None:
+                break
+            seq, is_retx = item
+            self._transmit(seq, retransmit=is_retx)
+            budget -= 1
+
+    def _next_seq_to_send(self) -> Optional[tuple]:
+        while self._retx_queue:
+            seq = self._retx_queue.pop(0)
+            if self._acked[seq] or seq in self._inflight:
+                continue
+            return seq, True
+        if self.next_new < self.total_pkts:
+            seq = self.next_new
+            self.next_new += 1
+            return seq, False
+        return None
+
+    def _packet_size(self, seq: int) -> int:
+        """Last packet carries the flow's tail bytes; others are full MTU."""
+        if seq == self.total_pkts - 1:
+            tail = self.flow.size_bytes - seq * self.mtu
+            return max(HEADER_SIZE, tail)
+        return self.mtu
+
+    def _transmit(self, seq: int, retransmit: bool = False) -> None:
+        pkt = make_data_packet(
+            self.host.node_id, self.flow.dst, self.flow.flow_id, seq,
+            size=self._packet_size(seq),
+        )
+        pkt.sent_time = self.sim.now
+        pkt.is_retransmit = retransmit
+        pkt.deadline = self.flow.absolute_deadline
+        pkt.remaining_bytes = self.remaining_bytes
+        self.decorate_packet(pkt)
+        self._inflight.add(seq)
+        self.flow.pkts_sent += 1
+        if pkt.is_retransmit:
+            self.flow.retransmissions += 1
+            if self.sim.tracer is not None:
+                self.sim.tracer.record(self.sim.now, "retransmit",
+                                       self.flow.flow_id, seq=seq)
+        self.host.send(pkt)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_packet(self, ack: Packet) -> None:
+        if self.finished:
+            return
+        if self.handle_special_ack(ack):
+            return
+        sack = ack.ack_sacks
+        newly_acked = False
+        if 0 <= sack < self.total_pkts and not self._acked[sack]:
+            self._acked[sack] = True
+            self.pkts_acked += 1
+            newly_acked = True
+            if not ack.is_retransmit:
+                self._update_rtt(ack)
+        self._inflight.discard(sack)
+
+        old_cum = self.cum_ack
+        while self.cum_ack < self.total_pkts and self._acked[self.cum_ack]:
+            self.cum_ack += 1
+
+        if self.cum_ack > old_cum:
+            self._dupacks = 0
+            self._rto_backoff = 0
+            self._rearm_rto()
+        elif newly_acked and sack > self.cum_ack:
+            self._maybe_fast_retransmit()
+
+        self.on_ack_window_update(ack, newly_acked)
+
+        if self.cum_ack >= self.total_pkts:
+            self._finish()
+            return
+        self.send_window()
+
+    def _maybe_fast_retransmit(self) -> None:
+        self._dupacks += 1
+        if self._dupacks < self.config.dupack_threshold:
+            return
+        if self.cum_ack <= self._recovery_until:
+            return  # already in recovery for this hole
+        self._dupacks = 0
+        self._recovery_until = self.next_new - 1
+        seq = self.cum_ack
+        self._inflight.discard(seq)
+        if seq not in self._retx_queue:
+            self._retx_queue.insert(0, seq)
+        self.on_fast_retransmit()
+        self.send_window()
+
+    def _update_rtt(self, ack: Packet) -> None:
+        sample = self.sim.now - ack.sent_time
+        if sample <= 0:
+            return
+        if self._rtt_min_sample is None or sample < self._rtt_min_sample:
+            self._rtt_min_sample = sample
+        delta = sample - self.srtt
+        self.srtt += 0.125 * delta
+        self.rttvar += 0.25 * (abs(delta) - self.rttvar)
+
+    @property
+    def base_rtt(self) -> float:
+        """Best propagation-RTT estimate: the minimum sample, or the
+        configured initial guess before any sample exists."""
+        if self._rtt_min_sample is None:
+            return self.config.initial_rtt
+        return min(self._rtt_min_sample, self.config.initial_rtt * 10)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def rto_value(self) -> float:
+        base = max(self.config.min_rto, self.srtt + 4 * self.rttvar)
+        return min(self.config.max_rto, base * (2 ** self._rto_backoff))
+
+    def _arm_rto(self) -> None:
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(self.rto_value(), self._on_rto)
+
+    def _rearm_rto(self) -> None:
+        self._cancel_rto()
+        if self._inflight or self._retx_queue or self.next_new < self.total_pkts:
+            self._rto_event = self.sim.schedule(self.rto_value(), self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.finished:
+            return
+        self.flow.timeouts += 1
+        self._rto_backoff = min(self._rto_backoff + 1, 6)
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "timeout", self.flow.flow_id,
+                                   cum_ack=self.cum_ack,
+                                   inflight=len(self._inflight))
+        self.handle_timeout()
+
+    def handle_timeout(self) -> None:
+        """Default timeout reaction: everything in flight is presumed lost,
+        the window collapses (hook), and retransmission restarts from the
+        first hole.  PASE overrides this for low-priority queues (probing)."""
+        for seq in sorted(self._inflight):
+            if seq not in self._retx_queue:
+                self._retx_queue.append(seq)
+        self._inflight.clear()
+        self._dupacks = 0
+        self._recovery_until = -1
+        self.on_timeout_window_update()
+        self._rearm_rto()
+        self.send_window()
+
+    # ------------------------------------------------------------------
+    # Protocol hooks (override in subclasses)
+    # ------------------------------------------------------------------
+    def decorate_packet(self, pkt: Packet) -> None:
+        """Stamp protocol headers (priority, queue index) on an outgoing
+        data packet.  Default: best-effort queue 0, priority 0."""
+
+    def on_ack_window_update(self, ack: Packet, newly_acked: bool) -> None:
+        """Adjust ``cwnd`` on an ACK.  Default: TCP Reno (slow start then
+        1/cwnd per ACK), halving handled by loss hooks."""
+        if not newly_acked:
+            return
+        if self.config.slow_start and self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + 1, self.config.max_cwnd)
+        else:
+            self.cwnd = min(self.cwnd + 1.0 / max(self.cwnd, 1.0),
+                            self.config.max_cwnd)
+
+    def on_fast_retransmit(self) -> None:
+        """Window reaction to a dup-ACK-detected loss.  Default: Reno halving."""
+        self.ssthresh = max(self.cwnd / 2, 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout_window_update(self) -> None:
+        """Window reaction to an RTO.  Default: collapse to one packet."""
+        self.ssthresh = max(self.cwnd / 2, 2.0)
+        self.cwnd = 1.0
+
+    def handle_special_ack(self, ack: Packet) -> bool:
+        """Intercept protocol-specific ACKs (e.g. PASE probe replies).
+        Return True when the ACK was fully consumed."""
+        return False

@@ -1,0 +1,118 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010).
+
+The self-adjusting-endpoints baseline in the paper.  Senders estimate the
+fraction of ECN-marked packets per window, smooth it into ``alpha``, and on
+observing marks scale the window by ``(1 - alpha/2)`` once per window.
+Switches mark when the instantaneous queue exceeds K
+(:class:`repro.sim.queues.REDQueue`).
+
+The alpha estimator lives in its own class (:class:`DctcpAlphaEstimator`)
+because D2TCP, L2DCT, and PASE's end-host transport all reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.packet import Packet
+from repro.transports.base import SenderAgent, TransportConfig
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class DctcpConfig(TransportConfig):
+    """Table 3 defaults: 225-packet queues (set on the topology), g = 1/16."""
+
+    #: EWMA gain for the marked fraction.
+    g: float = 0.0625
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_probability("g", self.g)
+
+
+class DctcpAlphaEstimator:
+    """Per-flow EWMA of the fraction of marked ACKs, updated once per window.
+
+    ``observe(marked)`` is called per ACK; the estimate rolls over when a full
+    window's worth of ACKs (``window_pkts`` at rollover time) has been seen.
+    """
+
+    def __init__(self, g: float = 0.0625) -> None:
+        self.g = g
+        self.alpha = 0.0
+        self._acked = 0
+        self._marked = 0
+        self._window_target = 1
+
+    def begin_window(self, cwnd: float) -> None:
+        self._window_target = max(1, int(cwnd))
+
+    def observe(self, marked: bool, cwnd: float) -> bool:
+        """Record one ACK.  Returns True when a window boundary was crossed
+        and ``alpha`` was refreshed."""
+        self._acked += 1
+        if marked:
+            self._marked += 1
+        if self._acked < self._window_target:
+            return False
+        fraction = self._marked / self._acked
+        self.alpha = (1 - self.g) * self.alpha + self.g * fraction
+        self._acked = 0
+        self._marked = 0
+        self.begin_window(cwnd)
+        return True
+
+
+class DctcpSender(SenderAgent):
+    """DCTCP congestion control on the shared reliable-sender chassis."""
+
+    def __init__(self, sim, host, flow, config: DctcpConfig = None, on_done=None):
+        super().__init__(sim, host, flow, config or DctcpConfig(), on_done)
+        self.estimator = DctcpAlphaEstimator(self.config.g)
+        self.estimator.begin_window(self.cwnd)
+        #: Window may shrink at most once per RTT (per window of data).
+        self._last_reduction_seq = -1
+
+    @property
+    def alpha(self) -> float:
+        return self.estimator.alpha
+
+    # -- hooks -----------------------------------------------------------
+    def on_ack_window_update(self, ack: Packet, newly_acked: bool) -> None:
+        if not newly_acked:
+            return
+        self.estimator.observe(ack.ecn_echo, self.cwnd)
+        if ack.ecn_echo and self._may_reduce():
+            self._apply_mark_reduction()
+        else:
+            self._increase_window()
+
+    def _may_reduce(self) -> bool:
+        """Allow one multiplicative decrease per window of data."""
+        if self.cum_ack > self._last_reduction_seq:
+            self._last_reduction_seq = self.next_new
+            return True
+        return False
+
+    def _apply_mark_reduction(self) -> None:
+        self.cwnd = max(1.0, self.cwnd * (1 - self.backoff_factor() / 2))
+        self.ssthresh = max(self.cwnd, 2.0)
+
+    def _increase_window(self) -> None:
+        if self.config.slow_start and self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + 1, self.config.max_cwnd)
+        else:
+            self.cwnd = min(
+                self.cwnd + self.increase_gain() / max(self.cwnd, 1.0),
+                self.config.max_cwnd,
+            )
+
+    # -- subclass surface (D2TCP / L2DCT override these) ------------------
+    def backoff_factor(self) -> float:
+        """Multiplied by 1/2 on a marked window: DCTCP uses plain alpha."""
+        return self.estimator.alpha
+
+    def increase_gain(self) -> float:
+        """Additive-increase numerator: DCTCP grows 1 MSS per RTT."""
+        return 1.0

@@ -1,0 +1,94 @@
+"""Flow abstraction shared by workloads, transports, and metrics.
+
+A :class:`Flow` is one unit of application work — a single RPC or a long
+running connection (paper §3.1.1).  Workload generators create flows; the
+experiment harness instantiates transport agents for them; receivers stamp
+``completion_time`` when the last byte arrives; metrics read the stamps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.packet import DEFAULT_MTU
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass
+class Flow:
+    """One transfer of ``size_bytes`` from host ``src`` to host ``dst``."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: int
+    start_time: float
+    #: Relative deadline (seconds from ``start_time``), or None if the flow
+    #: has no deadline.
+    deadline: Optional[float] = None
+    #: Background flows (the paper's two long-lived flows) are excluded from
+    #: FCT statistics.
+    background: bool = False
+    #: Task (coflow) membership for task-aware scheduling (§3.1.1 notes the
+    #: FlowSize criterion can be replaced by a task id, per Baraat).  Flows
+    #: of one partition-aggregate query share a task id.
+    task_id: Optional[int] = None
+    mtu: int = DEFAULT_MTU
+
+    # -- runtime results, stamped by the transport ----------------------
+    completion_time: Optional[float] = None
+    #: Set when the transport gave up on the flow (PASE/PDQ early
+    #: termination of deadline-infeasible flows).  Terminated flows never
+    #: complete and count as missed deadlines.
+    terminated: bool = False
+    #: Data packets transmitted (including retransmissions).
+    pkts_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    probes_sent: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_non_negative("start_time", self.start_time)
+        check_positive("mtu", self.mtu)
+        if self.deadline is not None:
+            check_positive("deadline", self.deadline)
+
+    @property
+    def total_pkts(self) -> int:
+        """Number of MTU-sized packets carrying this flow."""
+        return max(1, math.ceil(self.size_bytes / self.mtu))
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time: arrival until the receiver has every byte."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+    @property
+    def absolute_deadline(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.start_time + self.deadline
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """True/False once completed (None while in flight or deadline-less)."""
+        if self.deadline is None:
+            return None
+        if self.completion_time is None:
+            return False
+        return self.fct <= self.deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flow(#{self.flow_id} {self.src}->{self.dst} "
+            f"{self.size_bytes}B t0={self.start_time:.6f})"
+        )

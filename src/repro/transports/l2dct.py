@@ -1,0 +1,77 @@
+"""L2DCT (Munir et al., INFOCOM 2013): size-aware DCTCP.
+
+L2DCT approximates least-attained-service scheduling with endpoint control
+laws alone: a flow's additive-increase gain shrinks and its multiplicative
+backoff grows as the flow sends more data, so short flows ramp fast and long
+flows yield.  Following the L2DCT paper, the weight ``w_c`` decays from
+``w_max`` to ``w_min`` as attained service grows from ``ramp_low_bytes`` to
+``ramp_high_bytes`` (we interpolate in log-space over that band, matching the
+bucketed weights in the original):
+
+* increase: ``cwnd += w_c / cwnd`` per ACK (i.e. ``w_c`` MSS per RTT),
+* decrease: ``cwnd *= 1 - (alpha/2) * (w_max / (w_c + w_max))`` — long flows
+  (small ``w_c``) back off by up to ``alpha/2 * 1``, short flows by roughly
+  half that, preserving L2DCT's size-differentiated penalty ordering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.transports.dctcp import DctcpConfig, DctcpSender
+from repro.utils.units import KB, MB
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class L2dctConfig(DctcpConfig):
+    """Table 3: minRTO = 10 ms; weight band per the L2DCT paper."""
+
+    w_max: float = 2.5
+    w_min: float = 0.125
+    ramp_low_bytes: float = 10 * KB
+    ramp_high_bytes: float = 1 * MB
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("w_min", self.w_min)
+        if self.w_max < self.w_min:
+            raise ValueError("w_max must be >= w_min")
+        if self.ramp_high_bytes <= self.ramp_low_bytes:
+            raise ValueError("ramp_high_bytes must exceed ramp_low_bytes")
+
+
+class L2dctSender(DctcpSender):
+    """DCTCP with attained-service-dependent gains."""
+
+    def __init__(self, sim, host, flow, config: L2dctConfig = None, on_done=None):
+        super().__init__(sim, host, flow, config or L2dctConfig(), on_done)
+
+    @property
+    def attained_bytes(self) -> int:
+        """Bytes successfully delivered so far (the LAS scheduling key)."""
+        return self.pkts_acked * self.mtu
+
+    def weight(self) -> float:
+        """Current flow weight ``w_c`` (log-interpolated between buckets)."""
+        cfg: L2dctConfig = self.config
+        sent = self.attained_bytes
+        if sent <= cfg.ramp_low_bytes:
+            return cfg.w_max
+        if sent >= cfg.ramp_high_bytes:
+            return cfg.w_min
+        span = math.log(cfg.ramp_high_bytes / cfg.ramp_low_bytes)
+        progress = math.log(sent / cfg.ramp_low_bytes) / span
+        return cfg.w_max - progress * (cfg.w_max - cfg.w_min)
+
+    def increase_gain(self) -> float:
+        return self.weight()
+
+    def backoff_factor(self) -> float:
+        cfg: L2dctConfig = self.config
+        alpha = self.estimator.alpha
+        # size_penalty spans [0.5, ~0.95]: short flows (w_c = w_max) halve
+        # the DCTCP penalty, long flows (w_c = w_min) take nearly all of it.
+        size_penalty = cfg.w_max / (self.weight() + cfg.w_max)
+        return alpha * size_penalty

@@ -1,0 +1,312 @@
+"""PDQ (Hong et al., SIGCOMM 2012): distributed explicit-rate arbitration.
+
+The arbitration-only baseline.  Every link runs a :class:`PdqLinkScheduler`
+(installed as a :class:`~repro.sim.link.LinkProcessor`) that keeps a table of
+active flows and allocates the link preemptively to the highest-priority
+flows — earliest deadline first, then shortest remaining size.  Data and
+probe packets carry a rate header; each hop stamps ``min(header, my_grant)``
+and the receiver echoes the result in the ACK.  Senders pace at the granted
+rate; paused flows (grant = 0) keep a probe circulating once per RTT so they
+learn promptly when the bottleneck frees up.
+
+The paper's critique — 1–2 RTTs of *flow switching overhead* every time the
+bottleneck hands over from one flow to the next — emerges naturally: the
+grant travels in-band, so a newly unpaused flow cannot send data until a
+probe has sampled the new allocation and its ACK has returned.
+
+Optimizations from the PDQ paper that matter at our scales are included:
+*Early Start* (grant the next flow in line when the current one is within
+``early_start_rtts`` of finishing) and *Early Termination* (drop flows whose
+deadline is provably unreachable; only when deadlines are in use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.sim.engine import Event
+from repro.sim.link import Link
+from repro.sim.packet import HEADER_SIZE, Packet, PacketKind
+from repro.transports.base import ReceiverAgent, SenderAgent, TransportConfig
+from repro.utils.units import MSEC, USEC, bytes_to_bits
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class PdqConfig(TransportConfig):
+    min_rto: float = 10 * MSEC
+    #: Paused flows probe once per this interval.
+    probe_interval: float = 300 * USEC
+    #: Scheduler entries not refreshed within this window are presumed dead.
+    entry_timeout: float = 3 * MSEC
+    #: Early Start: also grant the flow behind the head when the head will
+    #: finish within this many RTTs.  PDQ proposes ~K RTTs of overlap; too
+    #: large a value hides the flow-switching overhead entirely.
+    early_start_rtts: float = 0.5
+    #: Base RTT used by schedulers to convert early_start_rtts to seconds.
+    base_rtt: float = 300 * USEC
+    #: When True, flows that provably cannot meet their deadline are
+    #: terminated (PDQ's Early Termination).
+    early_termination: bool = False
+    #: Suppressed probing: a paused flow at rank ``r`` in the scheduler's
+    #: priority order probes every ``min(r, cap) * probe_interval`` — far
+    #: flows probe rarely, trading unpause latency for probe overhead (this
+    #: is the flow-switching cost §2.1 dwells on).  1 disables suppression.
+    probe_rank_cap: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("probe_interval", self.probe_interval)
+        check_positive("entry_timeout", self.entry_timeout)
+
+
+@dataclass
+class _FlowEntry:
+    flow_id: int
+    remaining_bytes: int
+    deadline: Optional[float]
+    last_seen: float
+    granted: float = 0.0
+
+    def priority_key(self):
+        # EDF first (None deadlines sort last), then SJF, then flow id for
+        # determinism.
+        deadline = self.deadline if self.deadline is not None else float("inf")
+        return (deadline, self.remaining_bytes, self.flow_id)
+
+
+class PdqLinkScheduler:
+    """Per-link flow table + preemptive rate allocator (switch side)."""
+
+    def __init__(self, link: Link, config: Optional[PdqConfig] = None) -> None:
+        self.link = link
+        self.config = config or PdqConfig()
+        self.flows: Dict[int, _FlowEntry] = {}
+
+    # -- LinkProcessor interface -----------------------------------------
+    def process(self, pkt: Packet, link: Link) -> None:
+        if pkt.kind not in (PacketKind.DATA, PacketKind.PROBE):
+            return
+        now = link.sim.now
+        if pkt.remaining_bytes <= 0:
+            # FIN: the sender has nothing left; free the slot immediately.
+            self.flows.pop(pkt.flow_id, None)
+            pkt.pdq_rate = min(pkt.pdq_rate, link.capacity_bps)
+            return
+        entry = self.flows.get(pkt.flow_id)
+        if entry is None:
+            entry = _FlowEntry(pkt.flow_id, pkt.remaining_bytes, pkt.deadline, now)
+            self.flows[pkt.flow_id] = entry
+        else:
+            entry.remaining_bytes = pkt.remaining_bytes
+            entry.deadline = pkt.deadline
+            entry.last_seen = now
+        self._expire(now)
+        self._allocate(now)
+        grant = self.flows[pkt.flow_id].granted
+        if grant <= 0:
+            pkt.pdq_pause = True
+            pkt.pdq_rate = 0.0
+        else:
+            pkt.pdq_rate = min(pkt.pdq_rate, grant)
+        rank = self._rank_of(pkt.flow_id)
+        if rank > pkt.pdq_rank:
+            pkt.pdq_rank = rank
+
+    # -- internals ---------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        timeout = self.config.entry_timeout
+        dead = [fid for fid, e in self.flows.items() if now - e.last_seen > timeout]
+        for fid in dead:
+            del self.flows[fid]
+
+    def _rank_of(self, flow_id: int) -> int:
+        """The flow's position in this link's priority order (0 = head)."""
+        ordered = sorted(self.flows.values(), key=_FlowEntry.priority_key)
+        for i, entry in enumerate(ordered):
+            if entry.flow_id == flow_id:
+                return i
+        return len(ordered)
+
+    def _allocate(self, now: float) -> None:
+        """Preemptive allocation: capacity goes to flows in priority order;
+        Early Start lets the runner-up stream while the head drains."""
+        capacity = self.link.capacity_bps
+        residual = capacity
+        early_window = self.config.early_start_rtts * self.config.base_rtt
+        ordered = sorted(self.flows.values(), key=_FlowEntry.priority_key)
+        for entry in ordered:
+            if residual <= 0:
+                entry.granted = 0.0
+                continue
+            grant = residual
+            entry.granted = grant
+            drain_time = bytes_to_bits(entry.remaining_bytes) / grant
+            if drain_time <= early_window:
+                # Early Start: head will vacate shortly — let the next flow
+                # begin now rather than paying a pause/unpause round trip.
+                continue
+            residual -= grant
+
+
+def install_pdq_schedulers(network, config: Optional[PdqConfig] = None) -> Dict[str, PdqLinkScheduler]:
+    """Attach a :class:`PdqLinkScheduler` to every link in ``network``.
+
+    Returns the schedulers keyed by link name (useful in tests)."""
+    schedulers: Dict[str, PdqLinkScheduler] = {}
+    for link in network.links.values():
+        sched = PdqLinkScheduler(link, config)
+        link.processors.append(sched)
+        schedulers[link.name] = sched
+    return schedulers
+
+
+#: PDQ needs no receiver specialization: ``make_ack_packet`` echoes the
+#: in-band grant (``pdq_rate`` / ``pdq_pause``) on every ACK.
+PdqReceiver = ReceiverAgent
+
+
+class PdqSender(SenderAgent):
+    """Rate-paced sender driven by in-band grants."""
+
+    def __init__(self, sim, host, flow, config: PdqConfig = None, on_done=None):
+        cfg = config or PdqConfig()
+        super().__init__(sim, host, flow, cfg, on_done)
+        self.rate_bps: float = 0.0
+        self.paused: bool = True
+        self.rank: int = 0
+        self._pace_event: Optional[Event] = None
+        self._probe_event: Optional[Event] = None
+        self.cwnd = 1.0  # unused by pacing; kept sane for introspection
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self.host.attach_sender(self.flow.flow_id, self)
+        # Kick off with a probe: it seeds every scheduler's flow table and
+        # returns the initial grant one RTT later.
+        self._send_probe()
+
+    def send_window(self) -> None:
+        """Pacing replaces windowed transmission; opportunistically restart
+        the pacing loop (e.g. after a timeout queued retransmissions)."""
+        self._ensure_pacing()
+
+    # -- pacing ------------------------------------------------------------
+    def _ensure_pacing(self) -> None:
+        if self.finished or self.paused or self.rate_bps <= 0:
+            return
+        if self._pace_event is None:
+            self._pace_event = self.sim.schedule(0.0, self._pace_tick)
+
+    def _pace_tick(self) -> None:
+        self._pace_event = None
+        if self.finished or self.paused or self.rate_bps <= 0:
+            return
+        item = self._next_seq_to_send()
+        if item is None:
+            return
+        seq, is_retx = item
+        self._transmit(seq, retransmit=is_retx)
+        gap = bytes_to_bits(self._packet_size(seq)) / self.rate_bps
+        self._pace_event = self.sim.schedule(gap, self._pace_tick)
+
+    def _cancel_pacing(self) -> None:
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+
+    # -- probing -------------------------------------------------------------
+    def _send_probe(self) -> None:
+        if self.finished:
+            return
+        probe = Packet(
+            PacketKind.PROBE, self.host.node_id, self.flow.dst,
+            self.flow.flow_id, seq=max(0, self.cum_ack), size=HEADER_SIZE,
+        )
+        probe.deadline = self.flow.absolute_deadline
+        probe.remaining_bytes = self.remaining_bytes
+        probe.sent_time = self.sim.now
+        self.flow.probes_sent += 1
+        self.host.send(probe)
+        self._schedule_probe()
+
+    def _schedule_probe(self) -> None:
+        cfg: PdqConfig = self.config
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+        # Suppressed probing: back off with priority rank when paused.
+        multiplier = 1
+        if self.paused and cfg.probe_rank_cap > 1:
+            multiplier = max(1, min(self.rank, cfg.probe_rank_cap))
+        self._probe_event = self.sim.schedule(
+            cfg.probe_interval * multiplier, self._maybe_probe)
+
+    def _maybe_probe(self) -> None:
+        self._probe_event = None
+        if self.finished:
+            return
+        if self.paused or self.rate_bps <= 0:
+            self._send_probe()
+        else:
+            # While streaming, data packets refresh the schedulers; just
+            # keep the probe timer parked for the next pause.
+            self._schedule_probe()
+
+    # -- grant handling --------------------------------------------------
+    def handle_special_ack(self, ack: Packet) -> bool:
+        self.rank = ack.pdq_rank
+        self._apply_grant(ack.pdq_rate, ack.pdq_pause)
+        if ack.kind == PacketKind.ACK and ack.ack_sacks == -1:
+            # Probe reply for un-received data: treat purely as a grant
+            # refresh (no reliability state to update).
+            return True
+        return False
+
+    def _apply_grant(self, rate: float, paused_flag: bool) -> None:
+        if rate == float("inf"):
+            return  # ACK did not traverse a scheduler (e.g. generated FIN ack)
+        was_paused = self.paused
+        self.paused = paused_flag or rate <= 0
+        self.rate_bps = 0.0 if self.paused else rate
+        if self.paused:
+            self._cancel_pacing()
+            if was_paused is False:
+                self._schedule_probe()
+        else:
+            self._ensure_pacing()
+
+    # -- overrides ---------------------------------------------------------
+    def handle_timeout(self) -> None:
+        for seq in sorted(self._inflight):
+            if seq not in self._retx_queue:
+                self._retx_queue.append(seq)
+        self._inflight.clear()
+        self._rearm_rto()
+        if self.paused or self.rate_bps <= 0:
+            self._send_probe()
+        else:
+            self._ensure_pacing()
+
+    def on_ack_window_update(self, ack: Packet, newly_acked: bool) -> None:
+        pass  # rate is dictated by grants, not by ACK clocking
+
+    def _finish(self) -> None:
+        if self.finished:
+            return
+        self._cancel_pacing()
+        if self._probe_event is not None:
+            self._probe_event.cancel()
+            self._probe_event = None
+        # FIN probe: remaining == 0 clears our entry from every scheduler on
+        # the path so the next flow is unpaused at once.
+        fin = Packet(
+            PacketKind.PROBE, self.host.node_id, self.flow.dst,
+            self.flow.flow_id, seq=self.total_pkts - 1, size=HEADER_SIZE,
+        )
+        fin.remaining_bytes = 0
+        self.host.send(fin)
+        super()._finish()

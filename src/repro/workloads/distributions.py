@@ -1,0 +1,129 @@
+"""Flow-size and deadline distributions used in the paper's evaluation.
+
+The paper draws query/short-message flow sizes from uniform intervals —
+[2 KB, 198 KB] for the FCT studies (following PDQ/D3) and [100 KB, 500 KB]
+for the deadline studies (following D2TCP) — and deadlines uniformly from
+[5 ms, 25 ms].  Empirical CDF support (e.g. for web-search or data-mining
+traces) is provided for extension studies.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence, Tuple
+
+from repro.utils.units import KB
+from repro.utils.validation import check_positive
+
+
+class SizeDistribution:
+    """Interface: ``sample(rng) -> int`` bytes, plus the analytic mean used
+    to convert offered load into a Poisson arrival rate."""
+
+    def sample(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    @property
+    def mean_bytes(self) -> float:
+        raise NotImplementedError
+
+
+class UniformSizeDistribution(SizeDistribution):
+    """Sizes uniform in [low, high] bytes (inclusive)."""
+
+    def __init__(self, low_bytes: int, high_bytes: int) -> None:
+        check_positive("low_bytes", low_bytes)
+        if high_bytes < low_bytes:
+            raise ValueError(f"high ({high_bytes}) must be >= low ({low_bytes})")
+        self.low = int(low_bytes)
+        self.high = int(high_bytes)
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    @property
+    def mean_bytes(self) -> float:
+        return (self.low + self.high) / 2
+
+    def __repr__(self) -> str:
+        return f"Uniform[{self.low}B, {self.high}B]"
+
+
+class FixedSizeDistribution(SizeDistribution):
+    """Every flow has the same size (micro-benchmarks, toy scenarios)."""
+
+    def __init__(self, size_bytes: int) -> None:
+        self.size = int(check_positive("size_bytes", size_bytes))
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    @property
+    def mean_bytes(self) -> float:
+        return float(self.size)
+
+    def __repr__(self) -> str:
+        return f"Fixed[{self.size}B]"
+
+
+class EmpiricalSizeDistribution(SizeDistribution):
+    """Inverse-CDF sampling from ``(size_bytes, cumulative_prob)`` points,
+    interpolating linearly between points (the standard way production
+    workloads like web-search are replayed in transport papers)."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        sizes = [p[0] for p in points]
+        probs = [p[1] for p in points]
+        if sorted(probs) != list(probs) or probs[-1] != 1.0:
+            raise ValueError("cumulative probabilities must be sorted and end at 1.0")
+        if sorted(sizes) != list(sizes):
+            raise ValueError("sizes must be sorted ascending")
+        self.sizes = sizes
+        self.probs = probs
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        i = bisect.bisect_left(self.probs, u)
+        if i == 0:
+            return max(1, int(self.sizes[0]))
+        p0, p1 = self.probs[i - 1], self.probs[i]
+        s0, s1 = self.sizes[i - 1], self.sizes[i]
+        frac = 0.0 if p1 == p0 else (u - p0) / (p1 - p0)
+        return max(1, int(s0 + frac * (s1 - s0)))
+
+    @property
+    def mean_bytes(self) -> float:
+        total = 0.0
+        prev_p = 0.0
+        prev_s = self.sizes[0]
+        for s, p in zip(self.sizes, self.probs):
+            total += (p - prev_p) * (prev_s + s) / 2
+            prev_p, prev_s = p, s
+        return total
+
+
+#: The paper's FCT workload (query traffic / latency-sensitive messages).
+QUERY_SIZES = UniformSizeDistribution(2 * KB, 198 * KB)
+
+#: The paper's deadline workload (replicated from D2TCP experiment 4.1.3).
+DEADLINE_SIZES = UniformSizeDistribution(100 * KB, 500 * KB)
+
+
+class DeadlineDistribution:
+    """Relative deadlines uniform in [low, high] seconds (paper: 5-25 ms)."""
+
+    def __init__(self, low: float, high: float) -> None:
+        check_positive("low", low)
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"DeadlineUniform[{self.low*1e3:.0f}ms, {self.high*1e3:.0f}ms]"

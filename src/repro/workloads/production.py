@@ -1,0 +1,60 @@
+"""Empirical flow-size distributions from production data centers.
+
+Two workloads every data-center transport paper evaluates on, digitized
+from the published CDFs:
+
+* **Web search** (DCTCP paper, Alizadeh et al. 2010 — Microsoft search
+  cluster): bimodal, with most flows short (query/response RPCs) but most
+  *bytes* in the 1-30 MB background updates.
+* **Data mining** (VL2 paper, Greenberg et al. 2009): extremely heavy
+  tailed — ~80% of flows below 10 KB, while a thin tail of multi-hundred-MB
+  flows carries almost all bytes.
+
+The PASE paper itself sweeps uniform distributions; these are provided for
+the extended benchmarks (heavier tails make scheduling matter more) and as
+realistic inputs for downstream users.
+"""
+
+from __future__ import annotations
+
+from repro.utils.units import KB, MB
+from repro.workloads.distributions import EmpiricalSizeDistribution
+
+#: Web-search workload (DCTCP Fig. 2 style CDF): (size_bytes, cum_prob).
+WEB_SEARCH_CDF = [
+    (6 * KB, 0.0),
+    (6 * KB, 0.15),
+    (13 * KB, 0.2),
+    (19 * KB, 0.3),
+    (33 * KB, 0.4),
+    (53 * KB, 0.53),
+    (133 * KB, 0.6),
+    (667 * KB, 0.7),
+    (1467 * KB, 0.8),
+    (3 * MB, 0.9),
+    (7 * MB, 0.97),
+    (30 * MB, 1.0),
+]
+
+#: Data-mining workload (VL2 style CDF): (size_bytes, cum_prob).
+DATA_MINING_CDF = [
+    (1 * KB, 0.0),
+    (1 * KB, 0.5),
+    (2 * KB, 0.6),
+    (3 * KB, 0.7),
+    (7 * KB, 0.8),
+    (267 * KB, 0.9),
+    (2107 * KB, 0.95),
+    (66_667 * KB, 0.99),
+    (666_667 * KB, 1.0),
+]
+
+
+def web_search_sizes() -> EmpiricalSizeDistribution:
+    """The DCTCP web-search flow-size distribution."""
+    return EmpiricalSizeDistribution(WEB_SEARCH_CDF)
+
+
+def data_mining_sizes() -> EmpiricalSizeDistribution:
+    """The VL2 data-mining flow-size distribution (very heavy tailed)."""
+    return EmpiricalSizeDistribution(DATA_MINING_CDF)

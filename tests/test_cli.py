@@ -1,0 +1,94 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.harness.cli import build_parser, build_scenario, build_pase_config, main
+
+
+class TestParser:
+    def test_required_arguments(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_minimal_invocation(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack", "--load", "0.5"])
+        assert args.protocol == "pase"
+        assert args.load == 0.5
+        assert args.flows == 200
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--protocol", "quic", "--scenario", "intra-rack",
+                 "--load", "0.5"])
+
+
+class TestScenarioBuilding:
+    def _args(self, scenario, hosts=None, fanin=8):
+        argv = ["--protocol", "pase", "--scenario", scenario, "--load", "0.5"]
+        if hosts:
+            argv += ["--hosts", str(hosts)]
+        return build_parser().parse_args(argv)
+
+    def test_each_scenario_constructs(self):
+        for name in ("intra-rack", "intra-rack-deadlines", "all-to-all",
+                     "left-right", "testbed"):
+            scenario = build_scenario(self._args(name, hosts=4))
+            assert scenario.name
+
+    def test_deadline_scenario_criterion(self):
+        scenario = build_scenario(self._args("intra-rack-deadlines", hosts=4))
+        assert scenario.criterion == "deadline"
+        assert scenario.deadline_dist is not None
+
+
+class TestPaseOverrides:
+    def test_no_overrides_returns_none(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack", "--load", "0.5"])
+        scenario = build_scenario(args)
+        assert build_pase_config(args, scenario) is None
+
+    def test_criterion_override(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack",
+             "--load", "0.5", "--criterion", "las"])
+        cfg = build_pase_config(args, build_scenario(args))
+        assert cfg.criterion == "las"
+
+    def test_early_termination_flag(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack-deadlines",
+             "--load", "0.5", "--early-termination"])
+        cfg = build_pase_config(args, build_scenario(args))
+        assert cfg.early_termination
+        assert cfg.criterion == "deadline"  # inherited from the scenario
+
+    def test_num_queues_override(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack",
+             "--load", "0.5", "--num-queues", "4"])
+        cfg = build_pase_config(args, build_scenario(args))
+        assert cfg.num_queues == 4
+
+
+class TestEndToEnd:
+    def test_main_runs_and_prints(self, capsys):
+        rc = main(["--protocol", "dctcp", "--scenario", "intra-rack",
+                   "--load", "0.4", "--flows", "20", "--hosts", "5",
+                   "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AFCT" in out
+        assert "completed 100.0%" in out
+
+    def test_main_with_buckets_and_pase(self, capsys):
+        rc = main(["--protocol", "pase", "--scenario", "all-to-all",
+                   "--load", "0.4", "--flows", "20", "--hosts", "5",
+                   "--fanin", "3", "--buckets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "control:" in out
+        assert "size bucket" in out

@@ -1,0 +1,170 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.3, fired.append, "c")
+    sim.schedule(0.1, fired.append, "a")
+    sim.schedule(0.2, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(0.5, fired.append, name)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_now_tracks_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.25, lambda: seen.append(sim.now))
+    sim.schedule(0.75, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.25, 0.75]
+
+
+def test_zero_delay_runs_after_current_instant_fifo():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(0.0, fired.append, "inner")
+
+    sim.schedule(0.1, outer)
+    sim.schedule(0.1, fired.append, "sibling")
+    sim.run()
+    assert fired == ["outer", "sibling", "inner"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(0.1, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_processed == 0
+
+
+def test_cancel_one_of_many():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(0.1, fired.append, "keep")
+    drop = sim.schedule(0.2, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.time == 0.1
+
+
+def test_run_until_stops_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.1, fired.append, "early")
+    sim.schedule(5.0, fired.append, "late")
+    sim.run(until=1.0)
+    assert fired == ["early"]
+    assert sim.now == 1.0  # clock advanced to the horizon
+    sim.run(until=10.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(0.1 * (i + 1), fired.append, i)
+    processed = sim.run(max_events=3)
+    assert processed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_stop_inside_callback():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append(2)
+        sim.stop()
+
+    sim.schedule(0.1, fired.append, 1)
+    sim.schedule(0.2, stopper)
+    sim.schedule(0.3, fired.append, 3)
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_events_processed_accumulates_across_runs():
+    sim = Simulator()
+    sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    sim.run(until=0.15)
+    assert sim.events_processed == 1
+    sim.run()
+    assert sim.events_processed == 2
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(0.1, lambda: None)
+    sim.schedule(0.2, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 0.2
+
+
+def test_peek_time_empty_heap():
+    sim = Simulator()
+    assert sim.peek_time() is None
+
+
+def test_callbacks_can_schedule_recursively():
+    sim = Simulator()
+    ticks = []
+
+    def tick(n):
+        ticks.append(sim.now)
+        if n > 0:
+            sim.schedule(1.0, tick, n - 1)
+
+    sim.schedule(0.0, tick, 4)
+    sim.run()
+    assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_determinism_same_schedule_same_order():
+    def run_once():
+        sim = Simulator()
+        out = []
+        delays = [0.5, 0.1, 0.5, 0.3, 0.1]
+        for i, d in enumerate(delays):
+            sim.schedule(d, out.append, i)
+        sim.run()
+        return out
+
+    assert run_once() == run_once()

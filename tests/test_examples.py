@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as executable documentation; a refactor that breaks
+them breaks the README's promises.  Each runs in a subprocess with the
+repository's source tree on the path.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stderr[-2000:]}")
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_demonstrates_sjf():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "shortest-flow-first confirmed" in result.stdout
+    assert "beat plain DCTCP" in result.stdout

@@ -1,0 +1,79 @@
+"""Tests for ECMP multipath routing on the dual-homed tree."""
+
+import pytest
+
+from repro.core import PaseConfig, PaseControlPlane
+from repro.sim import Simulator, TreeTopology, TreeTopologyConfig
+from repro.transports import DctcpConfig, DctcpSender, Flow, ReceiverAgent
+from repro.utils.units import GBPS, KB, USEC
+
+
+def tree(multipath=True, hosts_per_rack=2):
+    sim = Simulator()
+    topo = TreeTopology(sim, TreeTopologyConfig(
+        hosts_per_rack=hosts_per_rack, multipath=multipath))
+    return sim, topo
+
+
+class TestEcmpRouting:
+    def test_multipath_routes_populated(self):
+        sim, topo = tree()
+        src_tor = topo.tors[0]
+        dst = topo.rack_hosts(2)[0]  # other side of the core
+        assert dst.node_id in src_tor.multipath_routes
+        assert len(src_tor.multipath_routes[dst.node_id]) == 2
+
+    def test_singlepath_has_no_ecmp_sets(self):
+        sim, topo = tree(multipath=False)
+        for switch in topo.network.switches:
+            assert not switch.multipath_routes
+
+    def test_flow_pinned_to_one_path(self):
+        sim, topo = tree()
+        src_tor = topo.tors[0]
+        dst = topo.rack_hosts(2)[0]
+        picks = {src_tor.egress_for(dst.node_id, flow_id=77).name
+                 for _ in range(20)}
+        assert len(picks) == 1  # same flow always hashes the same way
+
+    def test_flows_spread_across_paths(self):
+        sim, topo = tree()
+        src_tor = topo.tors[0]
+        dst = topo.rack_hosts(2)[0]
+        picks = {src_tor.egress_for(dst.node_id, flow_id=f).name
+                 for f in range(50)}
+        assert len(picks) == 2  # both uplinks get used
+
+    def test_paths_are_loop_free_and_terminate(self):
+        sim, topo = tree()
+        src = topo.rack_hosts(0)[0]
+        dst = topo.rack_hosts(3)[1]
+        for flow_id in range(10):
+            path = topo.network.path_links(src.node_id, dst.node_id, flow_id)
+            assert path[0].src is src
+            assert path[-1].dst is dst
+            assert len(path) <= 6
+
+    def test_end_to_end_transfer_over_ecmp(self):
+        sim, topo = tree()
+        flows = []
+        for i in range(6):
+            src = topo.rack_hosts(0)[i % 2]
+            dst = topo.rack_hosts(2)[i % 2]
+            f = Flow(flow_id=100 + i, src=src.node_id, dst=dst.node_id,
+                     size_bytes=50 * KB, start_time=0.0)
+            ReceiverAgent(sim, dst, f)
+            DctcpSender(sim, src, f, DctcpConfig(initial_rtt=300 * USEC)).start()
+            flows.append(f)
+        sim.run(until=1.0)
+        assert all(f.completed for f in flows)
+
+    def test_pase_rejects_multipath(self):
+        sim, topo = tree()
+        with pytest.raises(ValueError, match="single-path"):
+            PaseControlPlane(sim, topo, PaseConfig())
+
+    def test_host_uplinks_unaffected(self):
+        sim, topo = tree()
+        host = topo.rack_hosts(0)[0]
+        assert not host.multipath_routes  # hosts still have one uplink

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arbitration import LinkArbitrator
+from repro.metrics.stats import percentile
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.queues import PFabricQueue, PriorityQueueBank, REDQueue
+from repro.utils.units import GBPS
+
+
+def pkt(flow=1, seq=0, priority=0.0, queue_index=0, size=1500):
+    return Packet(PacketKind.DATA, 0, 1, flow, seq=seq, size=size,
+                  priority=priority, queue_index=queue_index)
+
+
+# ---------------------------------------------------------------------------
+# Event engine
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False),
+                min_size=1, max_size=50))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=10,
+                                    allow_nan=False),
+                          st.booleans()),
+                min_size=1, max_size=40))
+def test_engine_cancellation_only_skips_cancelled(items):
+    sim = Simulator()
+    fired = []
+    events = []
+    for i, (delay, cancel) in enumerate(items):
+        events.append((sim.schedule(delay, fired.append, i), cancel))
+    for event, cancel in events:
+        if cancel:
+            event.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+    assert set(fired) == expected
+
+
+# ---------------------------------------------------------------------------
+# Queues
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                max_size=200))
+def test_priority_bank_conservation_and_order(queue_indices):
+    bank = PriorityQueueBank(num_queues=8, capacity_pkts=500)
+    for i, q in enumerate(queue_indices):
+        assert bank.enqueue(pkt(seq=i, queue_index=q))
+    out = []
+    while True:
+        p = bank.dequeue()
+        if p is None:
+            break
+        out.append(p)
+    # Conservation: everything that went in comes out exactly once.
+    assert sorted(p.seq for p in out) == list(range(len(queue_indices)))
+    # Strict priority: the sequence of class indices is non-decreasing
+    # whenever no new arrivals interleave (we drained in one go), except
+    # FIFO order within a class keeps arrival order.
+    classes = [p.queue_index for p in out]
+    assert classes == sorted(classes)
+
+
+@given(st.lists(st.floats(min_value=1, max_value=1e6, allow_nan=False),
+                min_size=1, max_size=100),
+       st.integers(min_value=2, max_value=20))
+def test_pfabric_keeps_highest_priority_packets(priorities, capacity):
+    q = PFabricQueue(capacity_pkts=capacity)
+    for i, prio in enumerate(priorities):
+        q.enqueue(pkt(flow=i, seq=i, priority=prio))
+    kept = []
+    while True:
+        p = q.dequeue()
+        if p is None:
+            break
+        kept.append(p.priority)
+    assert len(kept) == min(len(priorities), capacity)
+    # The kept set must be the lowest-priority-value (best) packets.
+    assert sorted(kept) == sorted(priorities)[:len(kept)]
+    # Dequeue yields non-decreasing priority values.
+    assert kept == sorted(kept)
+
+
+@given(st.integers(min_value=1, max_value=50),
+       st.integers(min_value=1, max_value=60))
+def test_red_marks_iff_at_threshold(threshold, arrivals):
+    q = REDQueue(capacity_pkts=1000, mark_threshold_pkts=threshold)
+    packets = [pkt(seq=i) for i in range(arrivals)]
+    for p in packets:
+        q.enqueue(p)
+    for i, p in enumerate(packets):
+        assert p.ecn_marked == (i >= threshold)
+
+
+# ---------------------------------------------------------------------------
+# Arbitration (Algorithm 1)
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=10_000_000),
+                          st.floats(min_value=1e6, max_value=1e9,
+                                    allow_nan=False)),
+                min_size=1, max_size=30))
+def test_arbitration_exactly_one_top_flow_under_saturating_demand(flows):
+    arb = LinkArbitrator("l", 1 * GBPS, 7, 1e6)
+    results = {}
+    for i, (size, _) in enumerate(flows):
+        results[i] = arb.arbitrate(i, size, demand=1 * GBPS, now=0.0)
+    # Re-query after all registrations for stable assignments.
+    results = {i: arb.arbitrate(i, flows[i][0], demand=1 * GBPS, now=0.0)
+               for i in range(len(flows))}
+    top = [i for i, r in results.items() if r.queue == 0]
+    assert len(top) == 1
+    # And it is the flow with the smallest (size, id) key.
+    best = min(range(len(flows)), key=lambda i: (flows[i][0], i))
+    assert top == [best]
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000_000),
+                min_size=2, max_size=30))
+def test_arbitration_queue_monotone_in_priority_order(sizes):
+    arb = LinkArbitrator("l", 1 * GBPS, 7, 1e6)
+    for i, size in enumerate(sizes):
+        arb.arbitrate(i, size, demand=1 * GBPS, now=0.0)
+    results = [(size, i, arb.arbitrate(i, size, demand=1 * GBPS, now=0.0))
+               for i, size in enumerate(sizes)]
+    results.sort(key=lambda t: (t[0], t[1]))
+    queues = [r.queue for _, _, r in results]
+    assert queues == sorted(queues)  # better key -> never worse queue
+
+
+@given(st.floats(min_value=1e5, max_value=1e9, allow_nan=False))
+def test_arbitration_rate_never_exceeds_capacity_or_demand(demand):
+    arb = LinkArbitrator("l", 1 * GBPS, 7, 1e6)
+    r = arb.arbitrate(1, 1000, demand=demand, now=0.0)
+    assert r.reference_rate <= 1 * GBPS + 1e-6
+    assert r.reference_rate <= demand + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=200),
+       st.floats(min_value=0, max_value=100, allow_nan=False))
+def test_percentile_bounded_and_monotone(values, p):
+    data = sorted(values)
+    v = percentile(data, p)
+    assert data[0] - 1e-9 <= v <= data[-1] + 1e-9
+    if p >= 50:
+        assert v >= percentile(data, p / 2) - 1e-9
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=10, allow_nan=False),
+                min_size=1, max_size=100))
+def test_percentile_100_is_max_0_is_min(fcts):
+    data = sorted(fcts)
+    assert percentile(data, 100) == data[-1]
+    assert percentile(data, 0) == data[0]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end properties (small, bounded examples — these build networks)
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=2_000, max_value=150_000),
+                min_size=1, max_size=5),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_pase_always_delivers_any_flow_mix(sizes, seed_salt):
+    """Whatever sizes a small burst has, PASE delivers all of it and the
+    shortest flow is never the last to finish (weak SRPT property)."""
+    from repro.core import PaseConfig, PaseControlPlane, PaseReceiver, PaseSender, pase_queue_factory
+    from repro.sim import StarTopology
+    from repro.transports import Flow
+
+    cfg = PaseConfig()
+    sim = Simulator()
+    topo = StarTopology(sim, num_hosts=len(sizes) + 1,
+                        queue_factory=pase_queue_factory(cfg))
+    cp = PaseControlPlane(sim, topo, cfg)
+    flows = []
+    for i, size in enumerate(sizes):
+        f = Flow(flow_id=i + 1, src=topo.hosts[i].node_id,
+                 dst=topo.hosts[-1].node_id, size_bytes=size, start_time=0.0)
+        PaseReceiver(sim, topo.hosts[-1], f)
+        PaseSender(sim, topo.hosts[i], f, cp).start()
+        flows.append(f)
+    sim.run(until=5.0)
+    assert all(f.completed for f in flows)
+    if len(flows) > 1:
+        shortest = min(flows, key=lambda f: (f.size_bytes, f.flow_id))
+        latest = max(f.completion_time for f in flows)
+        # The shortest flow never finishes last (ties aside).
+        distinct_sizes = len({f.size_bytes for f in flows})
+        if distinct_sizes == len(flows):
+            assert shortest.completion_time < latest or len(flows) == 1
+
+
+@given(st.integers(min_value=1, max_value=300_000))
+@settings(max_examples=20, deadline=None)
+def test_flow_packetization_roundtrip(size_bytes):
+    """total_pkts x MTU always covers the flow with < 1 MTU of slack."""
+    from repro.transports import Flow
+    f = Flow(flow_id=1, src=0, dst=1, size_bytes=size_bytes, start_time=0.0)
+    assert f.total_pkts * f.mtu >= size_bytes
+    assert (f.total_pkts - 1) * f.mtu < max(size_bytes, 1) + f.mtu

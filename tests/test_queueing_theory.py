@@ -1,0 +1,125 @@
+"""Validation of the simulator core against queueing theory.
+
+A discrete-event simulator that disagrees with M/D/1 on a single link is
+wrong everywhere else too.  These tests drive one link with an open-loop
+Poisson packet process (no transport feedback) and compare measured delays
+and utilization against the analytic results:
+
+* M/D/1 mean wait:  W = rho / (2 * mu * (1 - rho))  (service rate mu)
+* utilization:      rho = lambda / mu
+* Little's law:     mean queue length = lambda * W
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import Simulator as Sim
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import make_data_packet
+from repro.sim.queues import DropTailQueue
+from repro.utils.units import GBPS, USEC
+
+PKT_SIZE = 1500
+SERVICE_TIME = PKT_SIZE * 8 / (1 * GBPS)  # 12 us at 1 Gbps
+MU = 1.0 / SERVICE_TIME
+
+
+class RecordingSink(Node):
+    def __init__(self, sim):
+        super().__init__(sim, 1, "sink")
+        self.delays = []
+
+    def receive(self, pkt, from_link):
+        self.delays.append(self.sim.now - pkt.sent_time)
+
+
+def run_md1(rho: float, num_pkts: int = 40_000, seed: int = 7):
+    """Open-loop Poisson arrivals into one 1 Gbps link; returns
+    (per-packet delays minus propagation, link, horizon)."""
+    sim = Simulator()
+    src = Node(sim, 0, "src")
+    sink = RecordingSink(sim)
+    link = Link(sim, "l", src, sink, 1 * GBPS, 0.0, DropTailQueue(10_000_000))
+    rng = random.Random(seed)
+    lam = rho * MU
+    t = 0.0
+
+    def send_at(i):
+        pkt = make_data_packet(0, 1, 1, i, size=PKT_SIZE)
+        pkt.sent_time = sim.now
+        link.send(pkt)
+
+    for i in range(num_pkts):
+        t += rng.expovariate(lam)
+        sim.schedule_at(t, send_at, i)
+    sim.run()
+    return sink.delays, link, sim.now
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+def test_md1_mean_wait(rho):
+    delays, _, _ = run_md1(rho)
+    # Total sojourn = wait + service; compare waits against M/D/1.
+    waits = [d - SERVICE_TIME for d in delays]
+    measured = sum(waits) / len(waits)
+    analytic = rho / (2 * MU * (1 - rho))
+    assert measured == pytest.approx(analytic, rel=0.08)
+
+
+@pytest.mark.parametrize("rho", [0.4, 0.9])
+def test_utilization_matches_offered_load(rho):
+    _, link, horizon = run_md1(rho, num_pkts=20_000)
+    assert link.utilization(horizon) == pytest.approx(rho, rel=0.05)
+
+
+def test_littles_law():
+    rho = 0.7
+    delays, link, horizon = run_md1(rho, num_pkts=40_000)
+    lam = rho * MU
+    mean_sojourn = sum(delays) / len(delays)
+    # L = lambda * W (time-average number in system).
+    expected_l = lam * mean_sojourn
+    # Estimate L from the busy-time integral: for M/D/1, L = rho + lam*Wq.
+    analytic_l = rho + lam * (rho / (2 * MU * (1 - rho)))
+    assert expected_l == pytest.approx(analytic_l, rel=0.08)
+
+
+def test_deterministic_arrivals_see_no_queueing():
+    """Packets spaced wider than the service time never wait."""
+    sim = Simulator()
+    src = Node(sim, 0, "src")
+    sink = RecordingSink(sim)
+    link = Link(sim, "l", src, sink, 1 * GBPS, 0.0, DropTailQueue(1000))
+
+    def send_at(i):
+        pkt = make_data_packet(0, 1, 1, i, size=PKT_SIZE)
+        pkt.sent_time = sim.now
+        link.send(pkt)
+
+    for i in range(200):
+        sim.schedule_at(i * (SERVICE_TIME * 2), send_at, i)
+    sim.run()
+    assert all(d == pytest.approx(SERVICE_TIME) for d in sink.delays)
+
+
+def test_overload_queue_grows_linearly():
+    """At rho > 1 the backlog grows ~ (lambda - mu) * t."""
+    sim = Simulator()
+    src = Node(sim, 0, "src")
+    sink = RecordingSink(sim)
+    link = Link(sim, "l", src, sink, 1 * GBPS, 0.0, DropTailQueue(10_000_000))
+    rng = random.Random(3)
+    rho = 1.5
+    lam = rho * MU
+    t = 0.0
+    n = 30_000
+    for i in range(n):
+        t += rng.expovariate(lam)
+        sim.schedule_at(t, lambda i=i: link.send(
+            make_data_packet(0, 1, 1, i, size=PKT_SIZE)))
+    sim.run(until=t)
+    expected_backlog = (lam - MU) * sim.now
+    assert len(link.queue) == pytest.approx(expected_backlog, rel=0.15)

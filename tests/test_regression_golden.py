@@ -1,0 +1,91 @@
+"""Golden-value regression tests.
+
+Seeded runs whose headline metrics are pinned to (generous) bands.  Unit
+tests catch broken invariants; these catch *silent drift* — a change that
+keeps everything green but quietly makes PASE 2x slower, or DCTCP
+mysteriously lossless where it should mark, would trip one of these.
+Bands are deliberately wide (±40-60%) so legitimate tuning doesn't thrash
+them; order-of-magnitude regressions do.
+"""
+
+import pytest
+
+from repro.harness import (
+    all_to_all_intra_rack,
+    intra_rack,
+    left_right,
+    run_experiment,
+)
+
+SEED = 42
+
+
+class TestSingleFlowFloors:
+    """A lone 100 KB flow on an idle 1 Gbps path: every protocol should be
+    within a small factor of the 0.8 ms serialization floor."""
+
+    @pytest.mark.parametrize("protocol,limit_ms", [
+        ("pase", 1.4),
+        ("pfabric", 1.3),
+        ("pdq", 1.8),      # pays one probe RTT at startup
+        ("dctcp", 2.2),    # slow start
+        ("l2dct", 2.2),
+    ])
+    def test_lone_flow_fct(self, protocol, limit_ms):
+        from repro.sim import Simulator, StarTopology
+        from repro.harness.protocols import make_binding
+        from repro.transports import Flow
+        from repro.utils.units import GBPS, KB, USEC
+
+        scn = intra_rack(num_hosts=4, num_background_flows=0)
+        binding = make_binding(protocol, scn)
+        sim = Simulator()
+        topo = scn.build_topology(sim, binding.queue_factory())
+        binding.setup_network(sim, topo)
+        flow = Flow(flow_id=1, src=topo.hosts[0].node_id,
+                    dst=topo.hosts[1].node_id, size_bytes=100 * KB,
+                    start_time=0.0)
+        binding.make_receiver(sim, topo.hosts[1], flow, None)
+        binding.make_sender(sim, topo.hosts[0], flow).start()
+        sim.run(until=1.0)
+        assert flow.completed
+        assert 0.8 <= flow.fct * 1e3 <= limit_ms
+
+
+class TestScenarioBands:
+    def test_pase_left_right_70(self):
+        r = run_experiment("pase", left_right(), 0.7, num_flows=150, seed=SEED)
+        assert 1.0 < r.afct * 1e3 < 3.5
+        assert r.loss_rate < 0.005
+        assert r.stats.completion_fraction == 1.0
+
+    def test_dctcp_left_right_70(self):
+        r = run_experiment("dctcp", left_right(), 0.7, num_flows=150, seed=SEED)
+        assert 1.8 < r.afct * 1e3 < 5.5
+
+    def test_pfabric_incast_loss_band(self):
+        r = run_experiment("pfabric", all_to_all_intra_rack(num_hosts=20, fanin=16),
+                           0.8, num_flows=200, seed=SEED)
+        assert 0.08 < r.loss_rate < 0.35
+
+    def test_pase_control_overhead_band(self):
+        r = run_experiment("pase", left_right(), 0.7, num_flows=150, seed=SEED)
+        cp = r.control_plane
+        # Messages per flow: a handful of consultations per interval over a
+        # few-ms lifetime; runaway chatter or dead arbitration both fail.
+        per_flow = cp.messages / 150
+        assert 3 < per_flow < 300
+
+    def test_deadline_scenario_band(self):
+        r = run_experiment("pase", intra_rack(num_hosts=20, with_deadlines=True),
+                           0.7, num_flows=150, seed=SEED)
+        assert 0.7 < r.application_throughput <= 1.0
+
+    def test_event_count_stability(self):
+        """Event count is a deterministic fingerprint of the whole run."""
+        a = run_experiment("pase", intra_rack(num_hosts=8), 0.5,
+                           num_flows=40, seed=SEED)
+        b = run_experiment("pase", intra_rack(num_hosts=8), 0.5,
+                           num_flows=40, seed=SEED)
+        assert a.events == b.events
+        assert a.afct == b.afct

@@ -1,0 +1,156 @@
+"""Unit tests for network wiring, routing, and topology builders."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.packet import make_data_packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import (
+    StarTopology,
+    TreeTopology,
+    TreeTopologyConfig,
+)
+from repro.utils.units import GBPS, USEC
+
+
+def q():
+    return DropTailQueue(100)
+
+
+class TestNetwork:
+    def test_connect_creates_both_directions(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = net.add_host("a"), net.add_host("b")
+        ab, ba = net.connect(a, b, 1 * GBPS, 1 * USEC, q)
+        assert net.link_between(a, b) is ab
+        assert net.link_between(b, a) is ba
+
+    def test_double_connect_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = net.add_host("a"), net.add_host("b")
+        net.connect(a, b, 1 * GBPS, 1 * USEC, q)
+        with pytest.raises(ValueError):
+            net.connect(a, b, 1 * GBPS, 1 * USEC, q)
+
+    def test_routing_through_switch(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = net.add_host("a"), net.add_host("b")
+        sw = net.add_switch("sw")
+        net.connect(a, sw, 1 * GBPS, 1 * USEC, q)
+        net.connect(b, sw, 1 * GBPS, 1 * USEC, q)
+        net.build_routes()
+        path = net.path_links(a.node_id, b.node_id)
+        assert [l.name for l in path] == ["a->sw", "sw->b"]
+
+    def test_no_route_raises(self):
+        sim = Simulator()
+        net = Network(sim)
+        a = net.add_host("a")
+        net.add_host("b")
+        net.build_routes()
+        with pytest.raises(KeyError):
+            a.egress_for(99)
+
+
+class TestStarTopology:
+    def test_structure(self):
+        sim = Simulator()
+        topo = StarTopology(sim, num_hosts=5)
+        assert len(topo.hosts) == 5
+        assert len(topo.network.switches) == 1
+        assert len(topo.network.links) == 2 * 5
+
+    def test_rtt(self):
+        sim = Simulator()
+        topo = StarTopology(sim, num_hosts=3, rtt=100 * USEC)
+        a, b = topo.host_ids()[:2]
+        assert topo.base_rtt(a, b) == pytest.approx(100 * USEC)
+
+    def test_uplink_downlink(self):
+        sim = Simulator()
+        topo = StarTopology(sim, num_hosts=2)
+        h = topo.hosts[0]
+        assert topo.host_uplink(h).src is h
+        assert topo.host_downlink(h).dst is h
+
+    def test_end_to_end_delivery(self):
+        sim = Simulator()
+        topo = StarTopology(sim, num_hosts=3)
+        src, dst = topo.hosts[0], topo.hosts[2]
+        received = []
+        dst.attach_receiver(42, type("A", (), {"on_packet": staticmethod(received.append)})())
+        src.send(make_data_packet(src.node_id, dst.node_id, 42, 0))
+        sim.run()
+        assert len(received) == 1
+
+
+class TestTreeTopology:
+    def test_default_structure_matches_paper(self):
+        sim = Simulator()
+        topo = TreeTopology(sim)  # Fig. 8 defaults
+        cfg = topo.config
+        assert cfg.num_hosts == 160
+        assert len(topo.tors) == 4
+        assert len(topo.aggs) == 2
+        assert len(topo.hosts) == 160
+
+    def test_oversubscription_ratio(self):
+        # 40 hosts x 1 Gbps into a 10 Gbps uplink = the paper's 4:1.
+        cfg = TreeTopologyConfig()
+        ratio = cfg.hosts_per_rack * cfg.host_link_bps / cfg.fabric_link_bps
+        assert ratio == pytest.approx(4.0)
+
+    def test_core_rtt(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=2))
+        left = topo.left_hosts()[0]
+        right = topo.right_hosts()[0]
+        assert topo.base_rtt(left.node_id, right.node_id) == pytest.approx(300 * USEC)
+
+    def test_intra_rack_path_avoids_fabric(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=3))
+        a, b = topo.rack_hosts(0)[:2]
+        path = topo.path_links(a.node_id, b.node_id)
+        assert len(path) == 2  # host->tor, tor->host
+
+    def test_inter_rack_same_agg_path(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=2))
+        a = topo.rack_hosts(0)[0]
+        b = topo.rack_hosts(1)[0]
+        path = topo.path_links(a.node_id, b.node_id)
+        assert len(path) == 4  # host->tor->agg->tor->host
+
+    def test_cross_agg_path_goes_through_core(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=2))
+        a = topo.rack_hosts(0)[0]
+        b = topo.rack_hosts(2)[0]
+        path = topo.path_links(a.node_id, b.node_id)
+        assert len(path) == 6
+        assert any("core" in l.name for l in path)
+
+    def test_left_right_partition(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=2))
+        left = {h.node_id for h in topo.left_hosts()}
+        right = {h.node_id for h in topo.right_hosts()}
+        assert left.isdisjoint(right)
+        assert len(left) == len(right) == 4
+
+    def test_same_rack_predicate(self):
+        sim = Simulator()
+        topo = TreeTopology(sim, TreeTopologyConfig(hosts_per_rack=2))
+        a, b = (h.node_id for h in topo.rack_hosts(0))
+        c = topo.rack_hosts(1)[0].node_id
+        assert topo.same_rack(a, b)
+        assert not topo.same_rack(a, c)
+
+    def test_invalid_rack_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            TreeTopologyConfig(num_racks=3, racks_per_agg=2)
