@@ -8,6 +8,11 @@ breaks a result fails the benchmark run.
 
 Scale: ``PASE_BENCH_SCALE`` (default 1.0) multiplies per-point flow counts;
 set it to 3-5 for tighter confidence at the cost of wall-clock time.
+
+Parallelism: ``PASE_BENCH_JOBS`` (default 1) fans each figure's
+(protocol x load) grid out over ``repro.runner`` worker processes;
+``PASE_BENCH_TIMEOUT``/``PASE_BENCH_RETRIES`` bound sick points.  The
+default of 1 keeps the legacy serial path, byte-identical to before.
 """
 
 from __future__ import annotations
@@ -29,6 +34,10 @@ RESULTS_DIR = Path(__file__).parent / "results"
 PAPER_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
 
 SCALE = float(os.environ.get("PASE_BENCH_SCALE", "1.0"))
+JOBS = int(os.environ.get("PASE_BENCH_JOBS", "1"))
+TIMEOUT = (float(os.environ["PASE_BENCH_TIMEOUT"])
+           if "PASE_BENCH_TIMEOUT" in os.environ else None)
+RETRIES = int(os.environ.get("PASE_BENCH_RETRIES", "0"))
 
 
 def flows(n: int) -> int:
@@ -44,16 +53,38 @@ def sweep(
     seed: int = 42,
     **kwargs,
 ) -> Dict[str, Dict[float, ExperimentResult]]:
-    """Run each protocol across the load sweep (fresh scenario per run)."""
-    results: Dict[str, Dict[float, ExperimentResult]] = {}
-    for protocol in protocols:
-        results[protocol] = {}
-        for load in loads:
-            results[protocol][load] = run_experiment(
-                protocol, scenario_factory(), load,
-                num_flows=flows(num_flows), seed=seed, **kwargs,
-            )
-    return results
+    """Run each protocol across the load sweep (fresh scenario per run).
+
+    With ``PASE_BENCH_JOBS > 1`` the whole grid goes through the
+    ``repro.runner`` process pool; a failed point still fails the figure
+    (``on_error='raise'``), matching the serial path's behavior."""
+    loads = tuple(loads)
+    if JOBS == 1:
+        results: Dict[str, Dict[float, ExperimentResult]] = {}
+        for protocol in protocols:
+            results[protocol] = {}
+            for load in loads:
+                results[protocol][load] = run_experiment(
+                    protocol, scenario_factory(), load,
+                    num_flows=flows(num_flows), seed=seed, **kwargs,
+                )
+        return results
+
+    from repro.runner import (RunnerConfig, SweepSpec, results_by_protocol_load,
+                              run_sweep)
+
+    spec = SweepSpec(
+        protocols=tuple(protocols), scenario=scenario_factory, loads=loads,
+        seeds=(seed,), num_flows=flows(num_flows),
+        pase_config=kwargs.pop("pase_config", None),
+        horizon=kwargs.pop("horizon", None),
+        overrides=dict(kwargs),
+    )
+    outcome = run_sweep(spec.expand(), RunnerConfig(
+        jobs=JOBS, timeout=TIMEOUT, retries=RETRIES,
+        use_cache=False, on_error="raise",
+    ))
+    return results_by_protocol_load(outcome.records)
 
 
 def emit(name: str, text: str) -> str:

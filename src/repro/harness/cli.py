@@ -8,10 +8,16 @@ Run any (protocol, scenario, load) combination without writing a script::
     python -m repro.harness.cli --protocol pfabric --scenario all-to-all \
         --load 0.9 --hosts 20 --fanin 16 --buckets
 
+    # fan a small load sweep out over 4 worker processes:
+    python -m repro.harness.cli --protocol pase --scenario left-right \
+        --load 0.1,0.5,0.9 --jobs 4
+
 Scenario names: ``intra-rack``, ``intra-rack-deadlines``, ``all-to-all``,
 ``left-right``, ``testbed``.  Output is a compact summary (AFCT, tail,
 loss, deadline throughput) plus optional per-size-bucket statistics and
-control-plane counters.
+control-plane counters.  ``--load`` accepts a comma-separated list; for
+full (protocol x load x seed) grids with caching use ``python -m
+repro.runner`` instead.
 """
 
 from __future__ import annotations
@@ -23,18 +29,24 @@ from typing import List, Optional
 from repro.core import PaseConfig
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.protocols import PROTOCOL_NAMES
-from repro.harness.scenarios import (
-    Scenario,
-    all_to_all_intra_rack,
-    intra_rack,
-    left_right,
-    testbed,
-)
+from repro.harness.scenarios import Scenario
+from repro.harness.scenarios import build_scenario as build_named_scenario
 from repro.metrics.slowdown import bucket_stats
 from repro.utils.units import KB
 
 SCENARIO_NAMES = ("intra-rack", "intra-rack-deadlines", "all-to-all",
                   "left-right", "testbed")
+
+
+def _parse_loads(text: str) -> List[float]:
+    try:
+        loads = [float(part) for part in text.split(",") if part != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a load or comma-separated loads, got {text!r}") from None
+    if not loads:
+        raise argparse.ArgumentTypeError("at least one load is required")
+    return loads
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,8 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--protocol", required=True, choices=PROTOCOL_NAMES)
     parser.add_argument("--scenario", required=True, choices=SCENARIO_NAMES)
-    parser.add_argument("--load", type=float, required=True,
-                        help="offered load as a fraction (0, 1.5]")
+    parser.add_argument("--load", type=_parse_loads, required=True,
+                        help="offered load as a fraction (0, 1.5], or a "
+                             "comma-separated list to sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for multi-load sweeps "
+                             "(default 1 = serial)")
     parser.add_argument("--flows", type=int, default=200,
                         help="foreground flows to generate (default 200)")
     parser.add_argument("--seed", type=int, default=1)
@@ -67,19 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def scenario_kwargs(args: argparse.Namespace) -> dict:
+    """Map the CLI's generic size flags onto the scenario's constructor
+    parameters (shared logic with ``repro.runner.cli``)."""
+    from repro.runner.cli import scenario_cli_kwargs
+
+    return scenario_cli_kwargs(args.scenario, args.hosts, args.fanin)
+
+
 def build_scenario(args: argparse.Namespace) -> Scenario:
-    if args.scenario == "intra-rack":
-        return intra_rack(num_hosts=args.hosts or 20)
-    if args.scenario == "intra-rack-deadlines":
-        return intra_rack(num_hosts=args.hosts or 20, with_deadlines=True)
-    if args.scenario == "all-to-all":
-        return all_to_all_intra_rack(num_hosts=args.hosts or 20,
-                                     fanin=args.fanin)
-    if args.scenario == "left-right":
-        return left_right(hosts_per_rack=args.hosts or 40)
-    if args.scenario == "testbed":
-        return testbed(num_hosts=args.hosts or 10)
-    raise ValueError(f"unknown scenario {args.scenario!r}")
+    return build_named_scenario(args.scenario, **scenario_kwargs(args))
 
 
 def build_pase_config(args: argparse.Namespace,
@@ -132,13 +145,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     scenario = build_scenario(args)
     pase_config = build_pase_config(args, scenario)
-    result = run_experiment(
-        args.protocol, scenario, args.load,
-        num_flows=args.flows, seed=args.seed,
-        pase_config=pase_config, horizon=args.horizon,
-    )
-    print_summary(result, args.buckets)
-    return 0
+    loads: List[float] = args.load
+
+    if len(loads) == 1 and args.jobs == 1:
+        result = run_experiment(
+            args.protocol, scenario, loads[0],
+            num_flows=args.flows, seed=args.seed,
+            pase_config=pase_config, horizon=args.horizon,
+        )
+        print_summary(result, args.buckets)
+        return 0
+
+    # Multi-load (or explicitly parallel) invocation: fan the points out
+    # through the runner.  The declarative ScenarioSpec keeps workers
+    # closure-free and the points cache-addressable.
+    from repro.runner import (RunDescriptor, RunnerConfig, ScenarioSpec,
+                              run_sweep)
+
+    descriptors = [
+        RunDescriptor(
+            protocol=args.protocol,
+            scenario=ScenarioSpec(args.scenario, scenario_kwargs(args)),
+            load=load, seed=args.seed, num_flows=args.flows,
+            pase_config=pase_config, horizon=args.horizon,
+        )
+        for load in loads
+    ]
+    outcome = run_sweep(descriptors, RunnerConfig(
+        jobs=args.jobs, use_cache=False, on_error="record"))
+    for record in outcome.records:
+        if record.ok:
+            print_summary(record.result, args.buckets)
+        else:
+            print(f"load {record.descriptor.load:.0%}: {record.status}"
+                  f"{' — ' + record.error.splitlines()[0] if record.error else ''}",
+                  file=sys.stderr)
+        print()
+    print(outcome.summary_line())
+    return 0 if outcome.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests

@@ -11,7 +11,7 @@ overhead counters.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.core import PaseConfig
@@ -56,6 +56,18 @@ class ExperimentResult:
     @property
     def loss_rate(self) -> float:
         return self.network.loss_rate
+
+    def detach(self) -> "ExperimentResult":
+        """A copy safe to ship across process boundaries.
+
+        ``Flow`` is a plain dataclass and none of the transports store
+        simulator back-references on it today, but nothing stops an agent
+        from stashing one (``flow.__dict__`` is open).  Rebuilding every
+        flow from its declared fields drops any such foreign attributes,
+        so pickling a result can never drag a live :class:`Simulator`
+        (and its event heap) across the pipe.
+        """
+        return replace(self, flows=[replace(f) for f in self.flows])
 
 
 def run_experiment(
@@ -158,14 +170,45 @@ def sweep_loads(
     num_flows: int = 300,
     seed: int = 1,
     pase_config: Optional[PaseConfig] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    cache_dir=None,
     **kwargs,
 ) -> Dict[float, ExperimentResult]:
     """Run ``protocol`` across ``loads``; a fresh scenario per point keeps
-    runs independent.  ``scenario_factory`` is a zero-argument callable."""
-    results: Dict[float, ExperimentResult] = {}
-    for load in loads:
-        results[load] = run_experiment(
-            protocol, scenario_factory(), load,
-            num_flows=num_flows, seed=seed, pase_config=pase_config, **kwargs,
-        )
-    return results
+    runs independent.  ``scenario_factory`` is a zero-argument callable
+    (or a :class:`repro.runner.ScenarioSpec` to make the points cacheable).
+
+    ``jobs=1`` (the default) executes serially in-process, exactly as it
+    always has; ``jobs > 1`` fans the points out over ``repro.runner``
+    worker processes.  ``cache_dir`` opts into the on-disk result cache
+    (only effective for ScenarioSpec-described scenarios).
+    """
+    if jobs == 1 and cache_dir is None:
+        results: Dict[float, ExperimentResult] = {}
+        for load in loads:
+            results[load] = run_experiment(
+                protocol, scenario_factory(), load,
+                num_flows=num_flows, seed=seed, pase_config=pase_config,
+                **kwargs,
+            )
+        return results
+
+    from repro.runner import (RunDescriptor, RunnerConfig, results_by_load,
+                              run_sweep)
+
+    horizon = kwargs.pop("horizon", None)
+    descriptors = [
+        RunDescriptor(protocol=protocol, scenario=scenario_factory,
+                      load=load, seed=seed, num_flows=num_flows,
+                      pase_config=pase_config, horizon=horizon,
+                      overrides=dict(kwargs))
+        for load in loads
+    ]
+    outcome = run_sweep(descriptors, RunnerConfig(
+        jobs=jobs, timeout=timeout, retries=retries,
+        use_cache=cache_dir is not None, cache_dir=cache_dir,
+        on_error="raise",
+    ))
+    return results_by_load(outcome.records)

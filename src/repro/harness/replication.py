@@ -84,16 +84,44 @@ def replicate(
     num_flows: int = 150,
     pase_config: Optional[PaseConfig] = None,
     confidence: float = 0.95,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    cache_dir=None,
     **kwargs,
 ) -> Replication:
-    """Run one experiment once per seed and aggregate ``metric``."""
-    values = []
-    for seed in seeds:
-        result = run_experiment(protocol, scenario_factory(), load,
-                                num_flows=num_flows, seed=seed,
-                                pase_config=pase_config, **kwargs)
-        values.append(metric(result))
-    return Replication(values, confidence=confidence)
+    """Run one experiment once per seed and aggregate ``metric``.
+
+    ``jobs > 1`` fans the seed replicas out over ``repro.runner`` worker
+    processes (seed order is preserved in the aggregate either way);
+    ``jobs=1`` without a cache keeps the legacy serial path."""
+    if jobs == 1 and cache_dir is None:
+        values = []
+        for seed in seeds:
+            result = run_experiment(protocol, scenario_factory(), load,
+                                    num_flows=num_flows, seed=seed,
+                                    pase_config=pase_config, **kwargs)
+            values.append(metric(result))
+        return Replication(values, confidence=confidence)
+
+    from repro.runner import (RunDescriptor, RunnerConfig,
+                              metric_values_by_seed, run_sweep)
+
+    horizon = kwargs.pop("horizon", None)
+    descriptors = [
+        RunDescriptor(protocol=protocol, scenario=scenario_factory,
+                      load=load, seed=seed, num_flows=num_flows,
+                      pase_config=pase_config, horizon=horizon,
+                      overrides=dict(kwargs))
+        for seed in seeds
+    ]
+    outcome = run_sweep(descriptors, RunnerConfig(
+        jobs=jobs, timeout=timeout, retries=retries,
+        use_cache=cache_dir is not None, cache_dir=cache_dir,
+        on_error="raise",
+    ))
+    return Replication(metric_values_by_seed(outcome.records, metric),
+                       confidence=confidence)
 
 
 def compare_protocols(

@@ -15,7 +15,7 @@ size parameters explicitly so full-scale runs remain one call away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.network import QueueFactory
@@ -175,6 +175,12 @@ def left_right(
     )
 
 
+def intra_rack_deadlines(**kwargs) -> Scenario:
+    """:func:`intra_rack` with the paper's U[5 ms, 25 ms] deadlines — a
+    named constructor so the registry can address it without partials."""
+    return intra_rack(with_deadlines=True, **kwargs)
+
+
 def testbed(
     num_hosts: int = 10,
     link_bps: float = 1 * GBPS,
@@ -201,3 +207,27 @@ def testbed(
         num_background_flows=1,
         base_rtt=rtt,
     )
+
+
+#: Registry of named scenario constructors.  These names are the stable,
+#: declarative identities used by :mod:`repro.runner` descriptors (and both
+#: CLIs) — a parallel worker rebuilds the scenario from ``(name, kwargs)``
+#: instead of shipping closures across process boundaries.
+SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
+    "intra-rack": intra_rack,
+    "intra-rack-deadlines": intra_rack_deadlines,
+    "all-to-all": all_to_all_intra_rack,
+    "left-right": left_right,
+    "testbed": testbed,
+}
+
+
+def build_scenario(name: str, **kwargs) -> Scenario:
+    """Construct a registered scenario by name (see ``SCENARIO_BUILDERS``)."""
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIO_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,78 @@
+"""repro.runner — parallel sweep execution with caching and crash isolation.
+
+Every figure reproduction is an embarrassingly-parallel grid of
+(protocol, scenario, load, seed) points.  This subsystem turns such grids
+into :class:`RunDescriptor` lists (:mod:`repro.runner.spec`), fans them out
+over per-run worker processes with timeouts, bounded retries, and crash
+isolation (:mod:`repro.runner.executor`), serves repeat points from a
+content-addressed on-disk cache salted by code version
+(:mod:`repro.runner.cache`), and streams a JSONL ledger with wall-clock,
+peak-RSS, and cache counters (:mod:`repro.runner.sink`).
+
+Typical library use::
+
+    from repro.runner import (RunnerConfig, ScenarioSpec, SweepSpec, run_sweep)
+
+    spec = SweepSpec(protocols=("pase", "dctcp"),
+                     scenario=ScenarioSpec("left-right"),
+                     loads=(0.1, 0.5, 0.9), seeds=(1, 2, 3))
+    outcome = run_sweep(spec.expand(), RunnerConfig(jobs=4, timeout=1800))
+    print(outcome.summary_line())
+
+or from the shell: ``python -m repro.runner --help``.
+"""
+
+from repro.runner.api import (
+    RunnerConfig,
+    SweepFailure,
+    SweepOutcome,
+    run_sweep,
+)
+from repro.runner.cache import ResultCache, code_version_salt, default_cache_dir
+from repro.runner.executor import ProcessPoolRunner, execute_descriptor
+from repro.runner.records import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+    SweepStats,
+)
+from repro.runner.sink import (
+    JsonlSink,
+    metric_values_by_seed,
+    results_by_load,
+    results_by_protocol_load,
+)
+from repro.runner.spec import (
+    RunDescriptor,
+    ScenarioSpec,
+    SweepSpec,
+    descriptors_from_grid,
+)
+
+__all__ = [
+    "RunnerConfig",
+    "SweepFailure",
+    "SweepOutcome",
+    "run_sweep",
+    "ResultCache",
+    "code_version_salt",
+    "default_cache_dir",
+    "ProcessPoolRunner",
+    "execute_descriptor",
+    "STATUS_CRASHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "RunRecord",
+    "SweepStats",
+    "JsonlSink",
+    "metric_values_by_seed",
+    "results_by_load",
+    "results_by_protocol_load",
+    "RunDescriptor",
+    "ScenarioSpec",
+    "SweepSpec",
+    "descriptors_from_grid",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.runner``."""
+
+import sys
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

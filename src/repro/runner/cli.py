@@ -1,0 +1,156 @@
+"""``python -m repro.runner`` — parallel, cached figure sweeps.
+
+Examples::
+
+    # Fig. 9a's PASE series, five paper loads, four workers, cached:
+    python -m repro.runner --protocols pase --scenario left-right \
+        --loads 0.1,0.3,0.5,0.7,0.9 --flows 250 --jobs 4
+
+    # Full three-protocol figure, resumable (re-runs serve from cache):
+    python -m repro.runner --protocols pase,l2dct,dctcp \
+        --scenario left-right --loads 0.1,0.3,0.5,0.7,0.9 \
+        --jobs 4 --timeout 1800 --retries 1 --output fig09a.jsonl
+
+Scenario names come from ``repro.harness.scenarios.SCENARIO_BUILDERS``;
+``--hosts``/``--fanin`` map onto each scenario's size parameters the same
+way they do in ``repro.harness.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.protocols import PROTOCOL_NAMES
+from repro.harness.report import format_series_table, series_from_results
+from repro.harness.scenarios import SCENARIO_BUILDERS
+from repro.runner.api import RunnerConfig, run_sweep
+from repro.runner.cache import default_cache_dir
+from repro.runner.sink import results_by_protocol_load
+from repro.runner.spec import ScenarioSpec, SweepSpec
+
+
+def _csv(cast):
+    def parse(text: str):
+        try:
+            return [cast(part) for part in text.split(",") if part != ""]
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return parse
+
+
+def scenario_cli_kwargs(name: str, hosts: Optional[int] = None,
+                        fanin: int = 8) -> dict:
+    """Map the generic ``--hosts``/``--fanin`` flags onto each registered
+    scenario's actual constructor parameters (shared with the harness CLI)."""
+    if name in ("intra-rack", "intra-rack-deadlines"):
+        return {"num_hosts": hosts or 20}
+    if name == "all-to-all":
+        return {"num_hosts": hosts or 20, "fanin": fanin}
+    if name == "left-right":
+        return {"hosts_per_rack": hosts or 40}
+    if name == "testbed":
+        return {"num_hosts": hosts or 10}
+    raise ValueError(f"unknown scenario {name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.runner",
+        description="Run a (protocol x load x seed) sweep in parallel, "
+                    "with content-addressed result caching.",
+    )
+    parser.add_argument("--protocols", required=True, type=_csv(str),
+                        metavar="P1,P2,...",
+                        help=f"protocols from: {', '.join(PROTOCOL_NAMES)}")
+    parser.add_argument("--scenario", required=True,
+                        choices=sorted(SCENARIO_BUILDERS))
+    parser.add_argument("--loads", required=True, type=_csv(float),
+                        metavar="L1,L2,...",
+                        help="offered loads as fractions, e.g. 0.1,0.5,0.9")
+    parser.add_argument("--seeds", type=_csv(int), default=[1],
+                        metavar="S1,S2,...")
+    parser.add_argument("--flows", type=int, default=200,
+                        help="foreground flows per point (default 200)")
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="hosts (star scenarios) / hosts per rack (left-right)")
+    parser.add_argument("--fanin", type=int, default=8,
+                        help="incast fan-in for all-to-all (default 8)")
+    parser.add_argument("--horizon", type=float, default=None,
+                        help="extra simulated seconds past the last arrival")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel workers (1 = serial in-process)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock budget in seconds "
+                             "(enforced when --jobs > 1)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for a failed/timed-out point")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"result cache root (default {default_cache_dir()})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="compute every point; neither read nor write cache")
+    parser.add_argument("--output", default=None, metavar="PATH.jsonl",
+                        help="append per-run JSONL records here")
+    parser.add_argument("--metric", default="afct",
+                        choices=("afct", "p99_fct", "application_throughput",
+                                 "loss_rate"),
+                        help="metric for the printed series table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    unknown = [p for p in args.protocols if p not in PROTOCOL_NAMES]
+    if unknown:
+        print(f"unknown protocol(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    spec = SweepSpec(
+        protocols=args.protocols,
+        scenario=ScenarioSpec(args.scenario,
+                              scenario_cli_kwargs(args.scenario, args.hosts,
+                                                  args.fanin)),
+        loads=args.loads,
+        seeds=args.seeds,
+        num_flows=args.flows,
+        horizon=args.horizon,
+    )
+    config = RunnerConfig(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        jsonl_path=args.output,
+    )
+
+    def progress(record) -> None:
+        mark = "cached" if record.cached else record.status
+        extra = "" if record.ok else " !"
+        print(f"  [{mark}]{extra} {record.descriptor.label} "
+              f"({record.wallclock:.1f} s)")
+
+    descriptors = spec.expand()
+    print(f"sweep: {len(descriptors)} points "
+          f"({len(args.protocols)} protocol(s) x {len(args.loads)} load(s) "
+          f"x {len(args.seeds)} seed(s)), jobs={args.jobs}")
+    outcome = run_sweep(descriptors, config, on_record=progress)
+
+    results = results_by_protocol_load(outcome.records)
+    if results:
+        scale = 1e3 if args.metric in ("afct", "p99_fct") else 1.0
+        unit = "ms" if scale == 1e3 else ""
+        series = series_from_results(results, args.metric, scale=scale)
+        print()
+        print(format_series_table(
+            f"{args.metric} — {args.scenario}", args.loads, series, unit=unit))
+    print()
+    print(outcome.summary_line())
+    for line in outcome.stats.failures:
+        print(f"  failed: {line}", file=sys.stderr)
+    return 0 if outcome.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

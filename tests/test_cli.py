@@ -15,8 +15,16 @@ class TestParser:
         args = build_parser().parse_args(
             ["--protocol", "pase", "--scenario", "intra-rack", "--load", "0.5"])
         assert args.protocol == "pase"
-        assert args.load == 0.5
+        assert args.load == [0.5]
+        assert args.jobs == 1
         assert args.flows == 200
+
+    def test_load_accepts_comma_separated_sweep(self):
+        args = build_parser().parse_args(
+            ["--protocol", "pase", "--scenario", "intra-rack",
+             "--load", "0.1,0.5,0.9", "--jobs", "2"])
+        assert args.load == [0.1, 0.5, 0.9]
+        assert args.jobs == 2
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,314 @@
+"""Tests for repro.runner: specs, cache, executor isolation, parity.
+
+The executor tests inject module-level work functions (sleepers, crashers,
+flaky workers) instead of real simulations, so timeout/retry/crash paths
+run in well under a second each.  The cache and parity tests use real—but
+tiny—experiments.
+"""
+
+import json
+import os
+import pickle
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.harness import intra_rack, run_experiment, sweep_loads
+from repro.harness.experiment import ExperimentResult
+from repro.harness.replication import replicate
+from repro.runner import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ProcessPoolRunner,
+    ResultCache,
+    RunDescriptor,
+    RunnerConfig,
+    ScenarioSpec,
+    SweepFailure,
+    SweepSpec,
+    results_by_load,
+    run_sweep,
+)
+
+TINY = ScenarioSpec("intra-rack", {"num_hosts": 5})
+
+
+def tiny_descriptor(load=0.3, seed=1, num_flows=12, **kwargs):
+    return RunDescriptor(protocol="dctcp", scenario=TINY, load=load,
+                         seed=seed, num_flows=num_flows, **kwargs)
+
+
+# -- injected work functions (module-level so fork children see them) ------
+
+def _echo_work(descriptor):
+    return ("ran", descriptor.load, descriptor.seed)
+
+
+def _slow_work(descriptor):
+    time.sleep(30.0)
+    return "never"
+
+
+def _always_raises(descriptor):
+    raise ValueError(f"boom at load {descriptor.load}")
+
+
+def _raise_on_half(descriptor):
+    if descriptor.load == 0.5:
+        raise ValueError("boom at 0.5")
+    return descriptor.load
+
+
+def _hard_crash(descriptor):
+    os._exit(17)  # simulates a segfault: no exception, no report
+
+
+class TestSpec:
+    def test_expand_is_protocol_major_grid(self):
+        spec = SweepSpec(protocols=("a", "b"), scenario=TINY,
+                         loads=(0.1, 0.9), seeds=(1, 2))
+        labels = [(d.protocol, d.load, d.seed) for d in spec.expand()]
+        assert labels == [("a", 0.1, 1), ("a", 0.1, 2), ("a", 0.9, 1),
+                          ("a", 0.9, 2), ("b", 0.1, 1), ("b", 0.1, 2),
+                          ("b", 0.9, 1), ("b", 0.9, 2)]
+
+    def test_content_hash_stable_and_sensitive(self):
+        d = tiny_descriptor()
+        assert d.content_hash() == tiny_descriptor().content_hash()
+        assert d.content_hash() != tiny_descriptor(load=0.4).content_hash()
+        assert d.content_hash() != tiny_descriptor(seed=2).content_hash()
+        assert (d.content_hash() !=
+                tiny_descriptor(num_flows=13).content_hash())
+
+    def test_factory_scenarios_are_uncacheable(self):
+        d = RunDescriptor(protocol="dctcp",
+                          scenario=lambda: intra_rack(num_hosts=5), load=0.3)
+        assert not d.cacheable
+        assert d.content_hash() is None
+
+    def test_spec_scenario_builds(self):
+        scenario = TINY.build()
+        assert scenario.name == "intra_rack[5]"
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioSpec("no-such-scenario").build()
+
+
+class TestExecutorIsolation:
+    def test_parallel_echo_preserves_order(self):
+        runner = ProcessPoolRunner(jobs=2, work_fn=_echo_work)
+        descriptors = [tiny_descriptor(load=l) for l in (0.1, 0.3, 0.5, 0.7)]
+        records = runner.run(descriptors)
+        assert [r.status for r in records] == [STATUS_OK] * 4
+        assert [r.result[1] for r in records] == [0.1, 0.3, 0.5, 0.7]
+        assert all(r.peak_rss_kb and r.peak_rss_kb > 0 for r in records)
+
+    def test_timeout_fires_and_sweep_completes(self):
+        runner = ProcessPoolRunner(jobs=2, timeout=0.5, work_fn=_slow_work)
+        records = runner.run([tiny_descriptor(load=0.1)])
+        assert records[0].status == STATUS_TIMEOUT
+        assert "budget" in records[0].error
+
+    def test_raising_worker_is_retried_then_failed_without_aborting(self):
+        runner = ProcessPoolRunner(jobs=2, retries=1, backoff=0.01,
+                                   work_fn=_raise_on_half)
+        records = runner.run([tiny_descriptor(load=l)
+                              for l in (0.1, 0.5, 0.9)])
+        by_load = {r.descriptor.load: r for r in records}
+        assert by_load[0.5].status == STATUS_FAILED
+        assert by_load[0.5].attempts == 2  # original + one retry
+        assert "boom at 0.5" in by_load[0.5].error
+        # The sick point did not take down its neighbors.
+        assert by_load[0.1].status == STATUS_OK
+        assert by_load[0.9].status == STATUS_OK
+
+    def test_hard_crash_is_isolated(self):
+        runner = ProcessPoolRunner(jobs=2, work_fn=_hard_crash)
+        records = runner.run([tiny_descriptor(load=0.1),
+                              tiny_descriptor(load=0.3)])
+        assert all(r.status == STATUS_CRASHED for r in records)
+        assert "exit code 17" in records[0].error
+
+    def test_serial_mode_retries_and_records(self):
+        runner = ProcessPoolRunner(jobs=1, retries=2, backoff=0.0,
+                                   work_fn=_always_raises)
+        records = runner.run([tiny_descriptor()])
+        assert records[0].status == STATUS_FAILED
+        assert records[0].attempts == 3
+
+
+class TestCache:
+    def test_hit_after_store_and_invalidation_on_config_change(self, tmp_path):
+        config = RunnerConfig(jobs=1, cache_dir=tmp_path)
+        d = [tiny_descriptor(load=0.3)]
+        first = run_sweep(d, config)
+        assert first.stats.cache_misses == 1 and first.stats.cached == 0
+        again = run_sweep(d, config)
+        assert again.stats.cached == 1 and again.stats.cache_hits == 1
+        assert (pickle.dumps(again.records[0].result.stats) ==
+                pickle.dumps(first.records[0].result.stats))
+        # Any config change (here: flow count) must miss.
+        changed = run_sweep([tiny_descriptor(load=0.3, num_flows=13)], config)
+        assert changed.stats.cached == 0
+
+    def test_code_version_salt_invalidates(self, tmp_path):
+        d = [tiny_descriptor(load=0.3)]
+        run_sweep(d, RunnerConfig(cache_dir=tmp_path, cache_salt="v1"))
+        stale = run_sweep(d, RunnerConfig(cache_dir=tmp_path, cache_salt="v2"))
+        assert stale.stats.cached == 0
+        warm = run_sweep(d, RunnerConfig(cache_dir=tmp_path, cache_salt="v1"))
+        assert warm.stats.cached == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, salt="s")
+        h = tiny_descriptor().content_hash()
+        path = cache.path_for(h)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(h) is None
+        assert not path.exists()
+        assert cache.misses == 1
+
+    def test_no_cache_mode_always_computes(self, tmp_path):
+        config = RunnerConfig(use_cache=False, cache_dir=tmp_path)
+        run_sweep([tiny_descriptor()], config)
+        out = run_sweep([tiny_descriptor()], config)
+        assert out.stats.cached == 0
+
+
+class TestParity:
+    """--jobs 1 through the runner must equal the legacy serial path."""
+
+    def test_serial_runner_matches_direct_run(self):
+        outcome = run_sweep([tiny_descriptor(load=0.4)],
+                            RunnerConfig(jobs=1, use_cache=False))
+        direct = run_experiment("dctcp", intra_rack(num_hosts=5), 0.4,
+                                num_flows=12, seed=1)
+        got = outcome.records[0].result
+        # wallclock is machine timing, never deterministic; everything else
+        # must be byte-identical.
+        assert (pickle.dumps(replace(got, wallclock=0.0)) ==
+                pickle.dumps(replace(direct.detach(), wallclock=0.0)))
+
+    def test_parallel_results_equal_serial(self):
+        loads = (0.2, 0.4)
+        serial = sweep_loads("dctcp", lambda: intra_rack(num_hosts=5),
+                             loads, num_flows=12, seed=3)
+        parallel = sweep_loads("dctcp", lambda: intra_rack(num_hosts=5),
+                               loads, num_flows=12, seed=3, jobs=2)
+        for load in loads:
+            assert (pickle.dumps(serial[load].stats) ==
+                    pickle.dumps(parallel[load].stats))
+            assert serial[load].events == parallel[load].events
+
+    def test_sweep_loads_raises_on_worker_failure(self):
+        with pytest.raises(SweepFailure):
+            sweep_loads("no-such-protocol", lambda: intra_rack(num_hosts=5),
+                        (0.3,), num_flows=12, jobs=2)
+
+    def test_replicate_parallel_matches_serial(self):
+        serial = replicate("dctcp", lambda: intra_rack(num_hosts=5), 0.4,
+                           seeds=(1, 2), num_flows=12)
+        parallel = replicate("dctcp", lambda: intra_rack(num_hosts=5), 0.4,
+                             seeds=(1, 2), num_flows=12, jobs=2)
+        assert serial.values == parallel.values
+
+
+class TestDetach:
+    def test_detach_strips_foreign_flow_attributes(self):
+        result = run_experiment("dctcp", intra_rack(num_hosts=5), 0.3,
+                                num_flows=12, seed=1)
+        # Simulate a transport stashing a simulator back-reference.
+        result.flows[0].agent = object()
+        detached = result.detach()
+        assert not hasattr(detached.flows[0], "agent")
+        pickle.dumps(detached)  # must not drag the stash along
+        assert detached.flows[0].fct == result.flows[0].fct
+
+    def test_experiment_result_round_trips_pickle(self):
+        result = run_experiment("pase", intra_rack(num_hosts=5), 0.3,
+                                num_flows=12, seed=1)
+        clone = pickle.loads(pickle.dumps(result.detach()))
+        assert isinstance(clone, ExperimentResult)
+        assert clone.afct == result.afct
+        assert clone.control_plane.messages == result.control_plane.messages
+
+
+class TestJsonlOutput:
+    def test_records_and_summary_lines(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        config = RunnerConfig(jobs=1, use_cache=False, jsonl_path=out)
+        run_sweep([tiny_descriptor(load=0.3)], config)
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert [l["type"] for l in lines] == ["run", "sweep_summary"]
+        run_line, summary = lines
+        assert run_line["status"] == "ok"
+        assert run_line["wallclock_s"] > 0
+        assert run_line["peak_rss_kb"] > 0
+        assert run_line["metrics"]["afct_s"] > 0
+        assert run_line["metrics"]["application_throughput"] is None  # NaN
+        assert summary["total"] == 1 and summary["failed"] == 0
+        assert summary["cache_misses"] == 1
+
+    def test_failed_point_lands_in_ledger_not_exception(self, tmp_path):
+        out = tmp_path / "sweep.jsonl"
+        outcome = run_sweep(
+            [tiny_descriptor(load=0.1), tiny_descriptor(load=0.5)],
+            RunnerConfig(jobs=2, use_cache=False, jsonl_path=out),
+            work_fn=_raise_on_half,
+        )
+        assert outcome.stats.failed == 1
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        statuses = {r["load"]: r["status"] for r in rows if r["type"] == "run"}
+        assert statuses == {0.1: "ok", 0.5: "failed"}
+
+
+class TestRunnerCli:
+    def test_end_to_end_sweep(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        out = tmp_path / "out.jsonl"
+        rc = main(["--protocols", "dctcp", "--scenario", "intra-rack",
+                   "--hosts", "5", "--loads", "0.2,0.4", "--flows", "12",
+                   "--jobs", "2", "--no-cache", "--output", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "2 runs" in printed and "0 failed" in printed
+        assert "afct" in printed
+        rows = [json.loads(l) for l in out.read_text().splitlines()]
+        assert sum(1 for r in rows if r["type"] == "run") == 2
+
+    def test_cache_round_trip_via_cli(self, tmp_path, capsys):
+        from repro.runner.cli import main
+
+        argv = ["--protocols", "dctcp", "--scenario", "intra-rack",
+                "--hosts", "5", "--loads", "0.3", "--flows", "12",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "1 cached" in capsys.readouterr().out
+
+    def test_unknown_protocol_is_an_error(self, capsys):
+        from repro.runner.cli import main
+
+        rc = main(["--protocols", "quic", "--scenario", "intra-rack",
+                   "--loads", "0.3"])
+        assert rc == 2
+
+
+class TestHarnessCliJobs:
+    def test_multi_load_sweep_prints_each_summary(self, capsys):
+        from repro.harness.cli import main
+
+        rc = main(["--protocol", "dctcp", "--scenario", "intra-rack",
+                   "--load", "0.2,0.4", "--flows", "12", "--hosts", "5",
+                   "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("AFCT") == 2
+        assert "2 runs" in out
