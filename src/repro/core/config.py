@@ -10,6 +10,7 @@ capacity to ToR arbitrators).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.utils.units import MSEC, USEC
 from repro.utils.validation import check_positive
@@ -73,6 +74,20 @@ class PaseConfig:
     #: Per-arbitrator processing delay for a control message (s).
     processing_delay: float = 10 * USEC
 
+    # -- fault tolerance (§3.1's soft-state argument, exercised by
+    # -- repro.faults; all of these are inert in clean runs) -------------
+    #: Consecutive unanswered/refused arbitration requests tolerated before
+    #: the sender falls back to pure DCTCP behavior.
+    arbitration_max_retries: int = 3
+    #: Cap on the exponential backoff multiplier applied to the re-request
+    #: interval while requests keep failing (also the fallback re-probe
+    #: cadence, so recovery is detected within cap x interval).
+    arbitration_backoff_cap: float = 8.0
+    #: Priority class used while in DCTCP fallback; None means the lowest
+    #: data class (conservative: degraded flows cannot starve arbitrated
+    #: top-queue traffic).
+    fallback_queue: Optional[int] = None
+
     # -- control-plane optimizations (§3.1.2) ----------------------------
     #: Early pruning: only flows mapped within the top ``pruning_queues``
     #: classes at a lower-level arbitrator propagate upward.  The paper
@@ -111,6 +126,15 @@ class PaseConfig:
             raise ValueError("delegation_min_share must be in [0, 1)")
         if self.reserve_background_queue and self.num_queues < 2:
             raise ValueError("need >= 2 queues when one is reserved for background")
+        if self.arbitration_max_retries < 0:
+            raise ValueError("arbitration_max_retries must be >= 0")
+        if self.arbitration_backoff_cap < 1:
+            raise ValueError("arbitration_backoff_cap must be >= 1")
+        if self.fallback_queue is not None and not (
+                0 <= self.fallback_queue < self.num_data_queues):
+            raise ValueError(
+                f"fallback_queue must be in [0, {self.num_data_queues}), "
+                f"got {self.fallback_queue}")
 
     @property
     def num_data_queues(self) -> int:

@@ -31,8 +31,9 @@ data-plane bandwidth; see DESIGN.md for why this substitution is sound.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.arbitration import (
     ArbitrationResult,
@@ -40,7 +41,7 @@ from repro.core.arbitration import (
     VirtualLinkArbitrator,
 )
 from repro.core.config import PaseConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.link import Link
 from repro.sim.topology import Topology, TreeTopology
 from repro.transports.flow import Flow
@@ -100,6 +101,20 @@ class PaseControlPlane:
         self.virtual: Dict[Tuple[str, int], VirtualLinkArbitrator] = {}
         self._delegation_groups: List[Tuple[Link, List[VirtualLinkArbitrator]]] = []
         self._chains: Dict[int, FlowChains] = {}
+        # -- fault model (all inert until a FaultInjector arms them) ----
+        #: True once fault injection is active: requests may fail, and
+        #: senders arm their timeout/retry/fallback machinery.  Clean runs
+        #: never set this, keeping them byte-identical to a fault-free build.
+        self.fallible = False
+        #: True while the whole control plane is crashed.
+        self.cp_down = False
+        #: Names of individually crashed arbitrators (link or virtual names).
+        self._crashed: Set[str] = set()
+        #: Loss probability / extra latency applied to each explicit control
+        #: message while a ControlDegrade window is open.
+        self.control_loss_rate = 0.0
+        self.control_extra_delay = 0.0
+        self.control_rng: Optional[random.Random] = None
         # -- statistics ------------------------------------------------
         self.messages_sent = 0
         self.messages_by_level = {LEVEL_HOST: 0, LEVEL_TOR: 0, LEVEL_AGG: 0}
@@ -109,11 +124,19 @@ class PaseControlPlane:
         self.processed_by_level = {LEVEL_HOST: 0, LEVEL_TOR: 0, LEVEL_AGG: 0}
         self.requests_started = 0
         self.prunes = 0
+        #: Requests refused outright because the local arbitrator was down.
+        self.requests_failed = 0
+        #: Half-path walks that died at a crashed arbitrator (no response).
+        self.consults_aborted = 0
+        #: Control messages eaten by a degraded control channel.
+        self.control_messages_lost = 0
+        self.arbitrator_crashes = 0
 
         self._build_arbitrators()
         if self.config.delegation_enabled and self._delegation_groups:
             self.sim.schedule(self.config.delegation_update_interval, self._rebalance_delegation)
-        self.sim.schedule(self.config.entry_timeout, self._expire_sweep)
+        self._expire_event: Optional["Event"] = self.sim.schedule(
+            self.config.entry_timeout, self._expire_sweep)
 
     # ------------------------------------------------------------------
     # Construction
@@ -242,7 +265,7 @@ class PaseControlPlane:
         criterion_value: float,
         demand: float,
         callback: ArbitrationCallback,
-    ) -> ArbitrationResult:
+    ) -> Optional[ArbitrationResult]:
         """Run one bottom-up arbitration round for ``flow``.
 
         The source half's *local* decision is computed synchronously and
@@ -250,14 +273,29 @@ class PaseControlPlane:
         Higher-level consultations and the whole destination half proceed
         asynchronously; ``callback`` fires with the merged result as each
         half completes.
+
+        Under fault injection the request is fallible: when the control
+        plane (or the source host's own arbitrator) is crashed, ``None``
+        comes back immediately and no callback will ever fire — the sender's
+        retry/fallback machinery takes over.  A crashed arbitrator higher
+        up the chain silently swallows that half's walk (the response simply
+        never arrives), which the sender detects by timeout.
         """
         self.requests_started += 1
         chains = self.chains_for(flow)
+        if self.cp_down or self._is_crashed(chains.src_hops[0]):
+            self.requests_failed += 1
+            return None
         state = _RequestState(criterion_value, demand, callback)
 
         local = chains.src_hops[0].arbitrator.arbitrate(
             flow.flow_id, criterion_value, demand, self.sim.now)
         self.processed_by_level[LEVEL_HOST] += 1
+        if self._expire_event is None:
+            # The expiry sweep parked itself when every table emptied;
+            # fresh soft state re-arms it.
+            self._expire_event = self.sim.schedule(
+                self.config.entry_timeout, self._expire_sweep)
         self._walk(flow, chains.src_hops, 1, local, state, "src",
                    return_extra=0.0)
         dst_start = chains.transfer_latency
@@ -280,6 +318,11 @@ class PaseControlPlane:
         prev_latency = hops[index - 1].latency if index > 0 else 0.0
         while index < len(hops):
             hop = hops[index]
+            if self._is_crashed(hop):
+                # The request reached a dead arbitrator: the chain is
+                # severed and this half never answers (sender times out).
+                self.consults_aborted += 1
+                return
             pruned = (cfg.pruning_enabled and acc is not None
                       and acc.queue >= cfg.pruning_queues)
             if pruned:
@@ -288,6 +331,10 @@ class PaseControlPlane:
             step = hop.latency - prev_latency
             if step > 1e-12:
                 # Climb to the next arbitrator; resume there after the hop.
+                if hop.message_cost and self._lose_control_message():
+                    return  # request message eaten by the control channel
+                if self.control_extra_delay > 0.0:
+                    step += self.control_extra_delay
                 self.sim.schedule(step, self._consult_and_continue, flow,
                                   hops, index, acc, state, half, return_extra)
                 return
@@ -297,6 +344,9 @@ class PaseControlPlane:
         self._deliver(hops, index, acc, state, half, return_extra)
 
     def _consult_and_continue(self, flow, hops, index, acc, state, half, return_extra):
+        if self._is_crashed(hops[index]):
+            self.consults_aborted += 1
+            return
         acc = self._consult(flow, hops[index], acc, state)
         self._walk(flow, hops, index + 1, acc, state, half, return_extra)
 
@@ -312,12 +362,71 @@ class PaseControlPlane:
         """Send the half's result back to the source and fire the callback."""
         if acc is None:
             return
+        used_messages = any(h.message_cost for h in hops[:consulted_until])
+        if used_messages and self._lose_control_message():
+            return  # response message eaten by the control channel
         deepest = hops[min(consulted_until, len(hops)) - 1].latency if consulted_until > 0 else 0.0
         delay = deepest + return_extra
+        if used_messages and self.control_extra_delay > 0.0:
+            delay += self.control_extra_delay
         if delay > 1e-12:
             self.sim.schedule(delay, state.fire, half, acc)
         else:
             state.fire(half, acc)
+
+    # ------------------------------------------------------------------
+    # Fault hooks (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def _is_crashed(self, hop: ChainHop) -> bool:
+        if not self.fallible:
+            return False
+        return self.cp_down or hop.arbitrator.name in self._crashed
+
+    def _lose_control_message(self) -> bool:
+        """Roll the control channel's loss dice for one explicit message."""
+        if self.control_rng is None or self.control_loss_rate <= 0.0:
+            return False
+        if self.control_rng.random() < self.control_loss_rate:
+            self.control_messages_lost += 1
+            return True
+        return False
+
+    def crash(self, names: Optional[Sequence[str]] = None) -> None:
+        """Crash arbitrators, wiping their soft state.
+
+        ``names=None`` takes the whole control plane down: every flow table
+        (real and virtual) is lost and :meth:`request` refuses service until
+        :meth:`recover`.  Otherwise only the named arbitrators (link names,
+        or ``link@tor`` virtual names) crash; walks that reach them die
+        silently and the senders' timeouts kick in.
+        """
+        self.fallible = True
+        self.arbitrator_crashes += 1
+        if names is None:
+            self.cp_down = True
+            for arb in self.arbitrators.values():
+                arb.flows.clear()
+            for varb in self.virtual.values():
+                varb.flows.clear()
+            return
+        for name in names:
+            arb = self.arbitrators.get(name)
+            if arb is None:
+                arb = next((v for v in self.virtual.values() if v.name == name), None)
+            if arb is None:
+                raise KeyError(f"no arbitrator named {name!r}")
+            self._crashed.add(name)
+            arb.flows.clear()
+
+    def recover(self, names: Optional[Sequence[str]] = None) -> None:
+        """Bring arbitrators back.  They restart *empty* — the paper's soft
+        state is rebuilt organically by the senders' periodic requests."""
+        if names is None:
+            self.cp_down = False
+            self._crashed.clear()
+            return
+        for name in names:
+            self._crashed.discard(name)
 
     # ------------------------------------------------------------------
     # Completion / maintenance
@@ -337,15 +446,28 @@ class PaseControlPlane:
     def _expire_sweep(self) -> None:
         timeout = self.config.entry_timeout
         now = self.sim.now
+        occupied = False
         for arb in self.arbitrators.values():
             arb.expire(now, timeout)
+            occupied = occupied or bool(arb.flows)
         for arb in self.virtual.values():
             arb.expire(now, timeout)
-        self.sim.schedule(timeout, self._expire_sweep)
+            occupied = occupied or bool(arb.flows)
+        if occupied:
+            self._expire_event = self.sim.schedule(timeout, self._expire_sweep)
+        else:
+            # Every table is empty: park the sweep so an idle simulation can
+            # drain.  request() re-arms it when fresh soft state appears.
+            self._expire_event = None
 
     def _rebalance_delegation(self) -> None:
         """Periodic virtual-link capacity refresh from child demand reports."""
         cfg = self.config
+        if self.cp_down:
+            # A crashed control plane neither reports demand nor reassigns
+            # shares; the last shares stay frozen until recovery.
+            self.sim.schedule(cfg.delegation_update_interval, self._rebalance_delegation)
+            return
         for parent_link, group in self._delegation_groups:
             demands = [max(v.aggregate_demand(top_queues=1), 0.0) for v in group]
             total = sum(demands)

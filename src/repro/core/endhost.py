@@ -80,6 +80,14 @@ class PaseSender(SenderAgent):
         #: No data leaves before the first arbitration response (§3.1.2);
         #: background flows are exempt (they never arbitrate).
         self._arbitrated = False
+        # -- fallback machinery (active only under fault injection) ----
+        #: True between issuing a request and any arbitration response; if
+        #: still set at the next periodic tick the request timed out.
+        self._request_pending = False
+        self._arb_failures = 0
+        #: True while running pure DCTCP because arbitrators are unreachable.
+        self._in_fallback = False
+        self._fallback_since = 0.0
 
         if flow.background:
             # Background traffic lives in the reserved bottom class and runs
@@ -113,12 +121,34 @@ class PaseSender(SenderAgent):
         # synchronously for intra-rack, after the ToR round trip otherwise.
         # Starting on host-local information alone would blast line-rate
         # top-queue bursts into fabric links the host knows nothing about.
-        self.control_plane.request(
-            self.flow, self._criterion_value(), self._demand(),
-            self._on_arbitration,
-        )
-        self._arb_event = self.sim.schedule(
-            self.pase.arbitration_interval, self._arbitrate)
+        cp = self.control_plane
+        if not cp.fallible:
+            cp.request(self.flow, self._criterion_value(), self._demand(),
+                       self._on_arbitration)
+            self._arb_event = self.sim.schedule(
+                self.pase.arbitration_interval, self._arbitrate)
+            return
+        # Fallible path.  A request that never answered by this tick has
+        # timed out (no extra timeout events needed — the periodic cadence
+        # is the timer); an outright refusal fails immediately.  Enough
+        # consecutive failures and the flow falls back to pure DCTCP,
+        # still re-requesting (with backoff) so it rejoins arbitration the
+        # moment the control plane answers again.
+        if self._request_pending:
+            self._arb_failures += 1
+        self._request_pending = True
+        local = cp.request(self.flow, self._criterion_value(), self._demand(),
+                           self._on_arbitration)
+        if local is None:
+            self._request_pending = False
+            self._arb_failures += 1
+        if self._arb_failures > self.pase.arbitration_max_retries:
+            self._enter_fallback()
+        interval = self.pase.arbitration_interval
+        if self._arb_failures:
+            interval *= min(2.0 ** self._arb_failures,
+                            self.pase.arbitration_backoff_cap)
+        self._arb_event = self.sim.schedule(interval, self._arbitrate)
 
     def _criterion_value(self) -> float:
         criterion = self.pase.criterion
@@ -167,6 +197,7 @@ class PaseSender(SenderAgent):
         if self.finished:
             return
         self.flow.terminated = True
+        self._close_fallback_episode()
         self.finished = True
         self._cancel_rto()
         if self._arb_event is not None:
@@ -181,6 +212,7 @@ class PaseSender(SenderAgent):
     def _finish(self) -> None:
         if self.finished:
             return
+        self._close_fallback_episode()
         if self._arb_event is not None:
             self._arb_event.cancel()
             self._arb_event = None
@@ -194,6 +226,11 @@ class PaseSender(SenderAgent):
     def _on_arbitration(self, half: str, new_result: ArbitrationResult) -> None:
         if self.finished:
             return
+        self._request_pending = False
+        if self._arb_failures:
+            self._arb_failures = 0
+        if self._in_fallback:
+            self._exit_fallback()
         self._arbitrated = True
         self._half_results[half] = new_result
         result = new_result
@@ -250,6 +287,52 @@ class PaseSender(SenderAgent):
             pending = self._pending_queue
             self._pending_queue = None
             self._set_queue(pending)
+
+    # ------------------------------------------------------------------
+    # DCTCP fallback (§3.1's fault-tolerance argument, made concrete)
+    # ------------------------------------------------------------------
+    def _enter_fallback(self) -> None:
+        """Arbitrators unreachable: run pure self-adjusting DCTCP in the
+        fallback queue until a response arrives again."""
+        if self._in_fallback:
+            return
+        self._in_fallback = True
+        self._fallback_since = self.sim.now
+        self.flow.fallback_episodes += 1
+        # Pre-crash arbitration state is stale; drop it wholesale.
+        self._half_results.clear()
+        self._pending_queue = None
+        self.reference_rate = 0.0
+        queue = self.pase.fallback_queue
+        if queue is None:
+            queue = self.pase.num_data_queues - 1
+        self.queue_index = queue
+        self._is_intermediate = True  # DCTCP control laws
+        self.cwnd = max(self.cwnd, 2.0)
+        self.ssthresh = self.config.max_cwnd
+        self._arbitrated = True  # sending no longer gated on arbitration
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fallback",
+                                   self.flow.flow_id, phase="enter",
+                                   queue=queue)
+        self.send_window()
+
+    def _exit_fallback(self) -> None:
+        """An arbitration response arrived: soft state is rebuilding."""
+        self._in_fallback = False
+        duration = self.sim.now - self._fallback_since
+        self.flow.fallback_time += duration
+        self.flow.recovery_latencies.append(duration)
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "fallback",
+                                   self.flow.flow_id, phase="exit",
+                                   duration=duration)
+
+    def _close_fallback_episode(self) -> None:
+        """Flow ended while still in fallback: book the time, no recovery."""
+        if self._in_fallback:
+            self._in_fallback = False
+            self.flow.fallback_time += self.sim.now - self._fallback_since
 
     # ------------------------------------------------------------------
     # Sending

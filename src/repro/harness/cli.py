@@ -12,8 +12,11 @@ Run any (protocol, scenario, load) combination without writing a script::
     python -m repro.harness.cli --protocol pase --scenario left-right \
         --load 0.1,0.5,0.9 --jobs 4
 
-Scenario names: ``intra-rack``, ``intra-rack-deadlines``, ``all-to-all``,
-``left-right``, ``testbed``.  Output is a compact summary (AFCT, tail,
+Scenario names come from ``repro.harness.scenarios.SCENARIO_BUILDERS``:
+``intra-rack``, ``intra-rack-deadlines``, ``all-to-all``, ``left-right``,
+``testbed``, plus the fault variants (``intra-rack-arb-crash``,
+``intra-rack-link-flap``, ``intra-rack-data-loss``,
+``left-right-lossy-control``).  Output is a compact summary (AFCT, tail,
 loss, deadline throughput) plus optional per-size-bucket statistics and
 control-plane counters.  ``--load`` accepts a comma-separated list; for
 full (protocol x load x seed) grids with caching use ``python -m
@@ -29,13 +32,12 @@ from typing import List, Optional
 from repro.core import PaseConfig
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.protocols import PROTOCOL_NAMES
-from repro.harness.scenarios import Scenario
+from repro.harness.scenarios import SCENARIO_BUILDERS, Scenario
 from repro.harness.scenarios import build_scenario as build_named_scenario
 from repro.metrics.slowdown import bucket_stats
 from repro.utils.units import KB
 
-SCENARIO_NAMES = ("intra-rack", "intra-rack-deadlines", "all-to-all",
-                  "left-right", "testbed")
+SCENARIO_NAMES = tuple(sorted(SCENARIO_BUILDERS))
 
 
 def _parse_loads(text: str) -> List[float]:
@@ -128,6 +130,16 @@ def print_summary(result: ExperimentResult, show_buckets: bool) -> None:
         cp = result.control_plane
         print(f"control:    {cp.messages} messages "
               f"({cp.messages_per_sec:.0f}/s), {cp.prunes} prunes")
+    if result.faults is not None:
+        fc = result.faults
+        injected = ", ".join(f"{k} x{v}" for k, v in sorted(fc.injected.items()))
+        print(f"faults:     {injected or 'none'}")
+        if fc.fallback_episodes:
+            recovery = (f", mean recovery {fc.mean_recovery_latency * 1e3:.1f} ms"
+                        if fc.recovery_latencies else "")
+            print(f"fallback:   {fc.fallback_episodes} episode(s) across "
+                  f"{fc.flows_in_fallback} flow(s), "
+                  f"{fc.fallback_time * 1e3:.1f} ms total{recovery}")
     print(f"simulated:  {result.sim_duration * 1e3:.1f} ms "
           f"({result.events} events in {result.wallclock:.1f} s wall)")
     if show_buckets:

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional
 
 from repro.core import PaseConfig
 from repro.core.control_plane import PaseControlPlane
+from repro.faults import FaultInjector, FaultSchedule
+from repro.metrics.faults import FaultCounters
 from repro.metrics.overhead import ControlPlaneCounters, NetworkCounters
 from repro.metrics.stats import FlowStats
 from repro.sim.engine import Simulator
@@ -40,6 +42,8 @@ class ExperimentResult:
     sim_duration: float
     wallclock: float
     events: int
+    #: Fault-injection roll-up; None when the run had no fault schedule.
+    faults: Optional[FaultCounters] = None
 
     @property
     def afct(self) -> float:
@@ -79,6 +83,7 @@ def run_experiment(
     pase_config: Optional[PaseConfig] = None,
     horizon: Optional[float] = None,
     binding: Optional[ProtocolBinding] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
     **binding_overrides,
 ) -> ExperimentResult:
     """Run one experiment and collect its metrics.
@@ -86,12 +91,26 @@ def run_experiment(
     ``horizon`` caps simulated time past the last arrival (default 2 s) so a
     protocol that strands flows still terminates; stranded flows show up in
     ``stats.completion_fraction`` and count as missed deadlines.
+
+    ``fault_schedule`` (or the scenario's own ``fault_schedule``) arms a
+    :class:`~repro.faults.FaultInjector` against the run; the result then
+    carries a :class:`~repro.metrics.faults.FaultCounters`.  Without one,
+    nothing fault-related executes and results are byte-identical to a
+    fault-free build.
     """
     sim = Simulator()
     if binding is None:
         binding = make_binding(protocol, scenario, pase_config, **binding_overrides)
     topology = scenario.build_topology(sim, binding.queue_factory())
     binding.setup_network(sim, topology)
+
+    if fault_schedule is None:
+        fault_schedule = scenario.fault_schedule
+    injector: Optional[FaultInjector] = None
+    if fault_schedule:
+        injector = FaultInjector(
+            sim, topology.network, fault_schedule,
+            control_plane=getattr(binding, "control_plane", None))
 
     pattern = scenario.build_pattern(topology)
     workload = WorkloadConfig(
@@ -147,7 +166,16 @@ def run_experiment(
             prunes=cp.prunes,
             duration=duration,
             processed_by_level=dict(cp.processed_by_level),
+            requests_failed=cp.requests_failed,
+            consults_aborted=cp.consults_aborted,
+            messages_lost=cp.control_messages_lost,
         )
+
+    faults: Optional[FaultCounters] = None
+    if injector is not None:
+        faults = FaultCounters.collect(
+            injector, flows,
+            control_plane=cp if isinstance(cp, PaseControlPlane) else None)
 
     return ExperimentResult(
         protocol=protocol,
@@ -160,6 +188,7 @@ def run_experiment(
         sim_duration=duration,
         wallclock=wallclock,
         events=sim.events_processed,
+        faults=faults,
     )
 
 

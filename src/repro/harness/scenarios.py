@@ -14,9 +14,16 @@ size parameters explicitly so full-scale runs remain one call away.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence
 
+from repro.faults.schedule import (
+    ArbitratorCrash,
+    ControlDegrade,
+    DataLoss,
+    FaultSchedule,
+    LinkDown,
+)
 from repro.sim.engine import Simulator
 from repro.sim.network import QueueFactory
 from repro.sim.topology import (
@@ -55,6 +62,9 @@ class Scenario:
     base_rtt: float = 300 * USEC
     #: "deadline" scenarios arbitrate EDF; "size" scenarios SJF.
     criterion: str = "size"
+    #: Fault schedule armed by the harness for every run of this scenario
+    #: (see :mod:`repro.faults`); None keeps runs fault-free.
+    fault_schedule: Optional[FaultSchedule] = None
 
 
 def intra_rack(
@@ -209,6 +219,103 @@ def testbed(
     )
 
 
+# ----------------------------------------------------------------------
+# Fault scenarios (PR 2): clean scenarios plus a declarative FaultSchedule.
+# All knobs are JSON primitives so runner descriptors stay cache-stable.
+# ----------------------------------------------------------------------
+
+def intra_rack_arb_crash(
+    crash_at: float = 5 * MSEC,
+    crash_duration: Optional[float] = 15 * MSEC,
+    arbitrators: Optional[Sequence[str]] = None,
+    fault_seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """:func:`intra_rack` with an arbitrator crash mid-experiment.
+
+    ``arbitrators=None`` crashes the whole control plane (the paper's §3.1
+    worst case: every flow loses arbitration and survives on DCTCP
+    fallback); pass link names (e.g. ``["h0->sw0"]``) to crash individual
+    arbitrators instead.  ``crash_duration=None`` means no recovery."""
+    base = intra_rack(**kwargs)
+    schedule = FaultSchedule(events=(
+        ArbitratorCrash(at=crash_at,
+                        links=None if arbitrators is None else tuple(arbitrators),
+                        duration=crash_duration),
+    ), seed=fault_seed)
+    return replace(base, name=base.name + "+arb_crash",
+                   fault_schedule=schedule)
+
+
+def intra_rack_link_flap(
+    down_at: float = 5 * MSEC,
+    outage: float = 2 * MSEC,
+    links: Sequence[str] = ("h1->sw0",),
+    flush: bool = True,
+    fault_seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """:func:`intra_rack` with a link flap: the named links go down at
+    ``down_at`` and come back ``outage`` later; senders ride it out via
+    RTO (and PASE additionally via fallback if their arbitrator's host
+    becomes unreachable)."""
+    base = intra_rack(**kwargs)
+    schedule = FaultSchedule(events=(
+        LinkDown(at=down_at, links=tuple(links), duration=outage,
+                 flush=flush),
+    ), seed=fault_seed)
+    return replace(base, name=base.name + "+link_flap",
+                   fault_schedule=schedule)
+
+
+def left_right_lossy_control(
+    degrade_at: float = 0.0,
+    degrade_duration: Optional[float] = None,
+    loss_rate: float = 0.3,
+    extra_delay: float = 0.0,
+    fault_seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """:func:`left_right` with a lossy/slow control channel: each explicit
+    arbitration message is dropped with ``loss_rate`` (and delayed by
+    ``extra_delay``) during the window.  ``degrade_duration=None`` keeps
+    the degradation on for the whole run.  Built on the inter-rack scenario
+    because only inter-rack arbitration uses explicit control messages —
+    intra-rack exchanges are piggybacked on data packets (§3.1.2) and have
+    nothing to lose."""
+    base = left_right(**kwargs)
+    schedule = FaultSchedule(events=(
+        ControlDegrade(at=degrade_at, duration=degrade_duration,
+                       loss_rate=loss_rate, extra_delay=extra_delay),
+    ), seed=fault_seed)
+    return replace(base, name=base.name + "+lossy_control",
+                   fault_schedule=schedule)
+
+
+def intra_rack_data_loss(
+    loss_at: float = 0.0,
+    loss_duration: Optional[float] = None,
+    model: str = "bernoulli",
+    p: float = 0.01,
+    links: Optional[Sequence[str]] = None,
+    fault_seed: int = 0,
+    **kwargs,
+) -> Scenario:
+    """:func:`intra_rack` with a data-plane loss model on the named links
+    (``None`` = every link).  ``model`` is ``"bernoulli"`` (i.i.d. with
+    probability ``p``) or ``"gilbert-elliott"`` (bursty; ``p`` maps to the
+    bad-state loss rate)."""
+    base = intra_rack(**kwargs)
+    params = (("p", p),) if model == "bernoulli" else (("loss_bad", p),)
+    schedule = FaultSchedule(events=(
+        DataLoss(at=loss_at,
+                 links=None if links is None else tuple(links),
+                 duration=loss_duration, model=model, params=params),
+    ), seed=fault_seed)
+    return replace(base, name=base.name + "+data_loss",
+                   fault_schedule=schedule)
+
+
 #: Registry of named scenario constructors.  These names are the stable,
 #: declarative identities used by :mod:`repro.runner` descriptors (and both
 #: CLIs) — a parallel worker rebuilds the scenario from ``(name, kwargs)``
@@ -219,6 +326,10 @@ SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
     "all-to-all": all_to_all_intra_rack,
     "left-right": left_right,
     "testbed": testbed,
+    "intra-rack-arb-crash": intra_rack_arb_crash,
+    "intra-rack-link-flap": intra_rack_link_flap,
+    "left-right-lossy-control": left_right_lossy_control,
+    "intra-rack-data-loss": intra_rack_data_loss,
 }
 
 

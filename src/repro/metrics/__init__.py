@@ -1,6 +1,7 @@
 """Measurement: FCT statistics, deadline throughput, loss and control
 overhead accounting."""
 
+from repro.metrics.faults import FaultCounters
 from repro.metrics.overhead import (
     ControlPlaneCounters,
     NetworkCounters,
@@ -18,6 +19,7 @@ from repro.metrics.stats import FlowStats, afct_improvement, percentile
 from repro.metrics.timeseries import Series, TimeSeriesProbe
 
 __all__ = [
+    "FaultCounters",
     "ControlPlaneCounters",
     "NetworkCounters",
     "overhead_reduction",

@@ -49,6 +49,12 @@ class ControlPlaneCounters:
     #: Arbitration decisions computed per placement level (0 host, 1 ToR,
     #: 2 aggregation) — the processing-load metric early pruning targets.
     processed_by_level: Optional[Dict[int, int]] = None
+    #: Fault-injection failure accounting (all zero in clean runs):
+    #: requests refused outright, half-path walks dead-ended at a crashed
+    #: arbitrator, and control messages eaten by a degraded channel.
+    requests_failed: int = 0
+    consults_aborted: int = 0
+    messages_lost: int = 0
 
     @property
     def messages_per_sec(self) -> float:

@@ -44,11 +44,13 @@ def scenario_cli_kwargs(name: str, hosts: Optional[int] = None,
                         fanin: int = 8) -> dict:
     """Map the generic ``--hosts``/``--fanin`` flags onto each registered
     scenario's actual constructor parameters (shared with the harness CLI)."""
-    if name in ("intra-rack", "intra-rack-deadlines"):
+    if name in ("intra-rack", "intra-rack-deadlines",
+                "intra-rack-arb-crash", "intra-rack-link-flap",
+                "intra-rack-data-loss"):
         return {"num_hosts": hosts or 20}
     if name == "all-to-all":
         return {"num_hosts": hosts or 20, "fanin": fanin}
-    if name == "left-right":
+    if name in ("left-right", "left-right-lossy-control"):
         return {"hosts_per_rack": hosts or 40}
     if name == "testbed":
         return {"num_hosts": hosts or 10}

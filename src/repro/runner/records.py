@@ -79,6 +79,8 @@ class RunRecord:
                 "sim_duration_s": self.result.sim_duration,
                 "events": self.result.events,
             }
+            if self.result.faults is not None:
+                row["faults"] = self.result.faults.to_json_dict()
         return row
 
 

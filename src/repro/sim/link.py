@@ -51,12 +51,18 @@ class Link:
         self.prop_delay = check_non_negative("prop_delay", prop_delay)
         self.queue = queue
         self.busy = False
+        #: False while the link is administratively/fault down.  Packets
+        #: offered to a down link are lost (counted in ``down_drops``);
+        #: the packet being serialized when the link dies is corrupted.
+        self.up = True
         self.processors: List[LinkProcessor] = []
         # Counters for utilization / loss accounting.
         self.bytes_sent: int = 0
         self.pkts_sent: int = 0
         self.data_pkts_offered: int = 0
         self.busy_time: float = 0.0
+        self.down_drops: int = 0
+        self.down_transitions: int = 0
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
@@ -69,6 +75,9 @@ class Link:
             proc.process(pkt, self)
         if pkt.kind == 0:  # PacketKind.DATA — avoid enum lookup in hot path
             self.data_pkts_offered += 1
+        if not self.up:
+            self._drop_down(pkt)
+            return False
         accepted = self.queue.enqueue(pkt)
         if accepted:
             if not self.busy:
@@ -80,6 +89,9 @@ class Link:
         return accepted
 
     def _transmit_next(self) -> None:
+        if not self.up:
+            self.busy = False
+            return
         pkt = self.queue.dequeue()
         if pkt is None:
             self.busy = False
@@ -90,11 +102,49 @@ class Link:
         self.sim.schedule(tx_delay, self._transmission_done, pkt)
 
     def _transmission_done(self, pkt: Packet) -> None:
+        if not self.up:
+            # The link died mid-serialization: the frame is corrupted.
+            self.busy = False
+            self._drop_down(pkt)
+            return
         self.bytes_sent += pkt.size
         self.pkts_sent += 1
         # Hand off to the wire; reception happens after propagation.
         self.sim.schedule(self.prop_delay, self.dst.receive, pkt, self)
         self._transmit_next()
+
+    # ------------------------------------------------------------------
+    # Fault transitions
+    # ------------------------------------------------------------------
+    def set_down(self, flush: bool = True) -> None:
+        """Take the link down.  ``flush`` drops queued packets now; without
+        it they wait out the outage and resume on :meth:`set_up` (a paused
+        port).  Idempotent."""
+        if not self.up:
+            return
+        self.up = False
+        self.down_transitions += 1
+        if flush:
+            while True:
+                pkt = self.queue.dequeue()
+                if pkt is None:
+                    break
+                self._drop_down(pkt)
+
+    def set_up(self) -> None:
+        """Bring the link back; held-back queued packets resume immediately."""
+        if self.up:
+            return
+        self.up = True
+        if not self.busy:
+            self._transmit_next()
+
+    def _drop_down(self, pkt: Packet) -> None:
+        self.down_drops += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.record(self.sim.now, "drop", self.name,
+                                   flow=pkt.flow_id, seq=pkt.seq,
+                                   kind=int(pkt.kind), reason="link-down")
 
     # ------------------------------------------------------------------
     def utilization(self, elapsed: Optional[float] = None) -> float:
@@ -106,10 +156,11 @@ class Link:
 
     @property
     def loss_rate(self) -> float:
-        """Fraction of offered data packets dropped at this egress queue."""
+        """Fraction of offered data packets dropped at this egress (queue
+        overflows plus link-outage losses)."""
         if self.data_pkts_offered == 0:
             return 0.0
-        return self.queue.drops / self.data_pkts_offered
+        return (self.queue.drops + self.down_drops) / self.data_pkts_offered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, {self.capacity_bps/1e9:.1f} Gbps)"

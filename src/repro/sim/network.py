@@ -149,7 +149,9 @@ class Network:
     # Aggregate accounting
     # ------------------------------------------------------------------
     def total_drops(self) -> int:
-        return sum(link.queue.drops for link in self.links.values())
+        """Queue-overflow drops plus link-outage losses, network-wide."""
+        return sum(link.queue.drops + link.down_drops
+                   for link in self.links.values())
 
     def total_data_offered(self) -> int:
         return sum(link.data_pkts_offered for link in self.links.values())

@@ -8,10 +8,15 @@ check per event.
 
 Categories currently emitted by the library:
 
-* ``"drop"``     — an egress queue rejected a packet (subject: link name),
+* ``"drop"``     — an egress queue rejected a packet (subject: link name;
+  detail ``reason="link-down"`` marks losses from an injected link outage),
 * ``"timeout"``  — a sender's RTO fired (subject: flow id),
 * ``"retransmit"`` — a data packet was retransmitted (subject: flow id),
-* ``"queue-change"`` — a PASE flow moved priority class (subject: flow id).
+* ``"queue-change"`` — a PASE flow moved priority class (subject: flow id),
+* ``"fault"``    — the fault injector fired an event (subject: link name or
+  ``"control-plane"``; detail ``kind`` names the fault),
+* ``"fallback"`` — a PASE sender entered/left DCTCP fallback after losing
+  its arbitrators (subject: flow id; detail ``phase="enter"|"exit"``).
 
 User code can record its own categories through :meth:`Tracer.record`.
 """

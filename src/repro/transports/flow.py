@@ -9,8 +9,8 @@ experiment harness instantiates transport agents for them; receivers stamp
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.sim.packet import DEFAULT_MTU
 from repro.utils.validation import check_non_negative, check_positive
@@ -48,6 +48,15 @@ class Flow:
     retransmissions: int = 0
     timeouts: int = 0
     probes_sent: int = 0
+    # -- fault-injection observability (PASE DCTCP fallback) ------------
+    #: Times this flow entered DCTCP fallback after losing its arbitrators.
+    fallback_episodes: int = 0
+    #: Total seconds spent in fallback.
+    fallback_time: float = 0.0
+    #: Seconds from each fallback entry until the next arbitration response
+    #: (one entry per *recovered* episode; episodes still open at completion
+    #: contribute to ``fallback_time`` only).
+    recovery_latencies: List[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         check_positive("size_bytes", self.size_bytes)

@@ -1,11 +1,10 @@
 """Failure-injection tests: lossy links, reordering, pathological inputs.
 
 These exercise the recovery machinery under conditions the clean-path tests
-never reach, using a Bernoulli-loss queue discipline wrapped around the
-normal ones.
+never reach, using the shared :class:`repro.faults.LossyQueue` wrapper
+(promoted out of this file into :mod:`repro.faults.queues`; scheduled,
+windowed fault injection lives in ``tests/test_faults.py``).
 """
-
-import random
 
 import pytest
 
@@ -16,8 +15,9 @@ from repro.core import (
     PaseSender,
     pase_queue_factory,
 )
+from repro.faults import LossyQueue, lossy_queue_factory
 from repro.sim import Simulator, StarTopology
-from repro.sim.queues import QueueDiscipline, REDQueue
+from repro.sim.queues import REDQueue
 from repro.transports import (
     DctcpConfig,
     DctcpSender,
@@ -30,38 +30,28 @@ from repro.transports import (
 from repro.utils.units import GBPS, KB, MSEC, USEC
 
 
-class LossyQueue(QueueDiscipline):
-    """Wraps another discipline and drops data packets with probability p
-    (ACKs/probes pass through so control loops limp along, which is the
-    harder case for loss recovery)."""
-
-    def __init__(self, inner: QueueDiscipline, p: float, seed: int = 0) -> None:
-        super().__init__()
-        self.inner = inner
-        self.p = p
-        self.rng = random.Random(seed)
-
-    def enqueue(self, pkt) -> bool:
-        if pkt.kind == 0 and self.rng.random() < self.p:  # DATA
-            return self._record_drop(pkt)
-        return self.inner.enqueue(pkt)
-
-    def dequeue(self):
-        return self.inner.dequeue()
-
-    def __len__(self):
-        return len(self.inner)
-
-    @property
-    def byte_depth(self):
-        return self.inner.byte_depth
+def lossy_factory(p):
+    return lossy_queue_factory(lambda: REDQueue(225, 65), p)
 
 
-def lossy_factory(p, seed_box=[0]):
-    def factory():
-        seed_box[0] += 1
-        return LossyQueue(REDQueue(225, 65), p, seed=seed_box[0])
-    return factory
+class TestLossyQueueCounters:
+    def test_injected_drops_count_in_delegated_counters(self):
+        from repro.sim.packet import Packet, PacketKind
+
+        q = LossyQueue(REDQueue(225, 65), 1.0, seed=1)  # drop everything
+        pkt = Packet(PacketKind.DATA, 0, 1, flow_id=1, seq=0, size=1500)
+        assert q.enqueue(pkt) is False
+        assert q.injected_drops == 1
+        assert q.drops == 1  # visible through the merged counter view
+        ack = Packet(PacketKind.ACK, 1, 0, flow_id=1, seq=0, size=40)
+        assert q.enqueue(ack) is True  # control packets pass through
+
+    def test_factory_seeds_each_queue_distinctly(self):
+        factory = lossy_factory(0.5)
+        a, b = factory(), factory()
+        seq_a = [a.model.drop() for _ in range(32)]
+        seq_b = [b.model.drop() for _ in range(32)]
+        assert seq_a != seq_b
 
 
 class TestTcpFamilyUnderLoss:
@@ -96,13 +86,7 @@ class TestPaseUnderLoss:
     def test_pase_probe_recovery_under_loss(self):
         cfg = PaseConfig(min_rto_low=20 * MSEC)  # keep the test fast
         sim = Simulator()
-        inner_factory = pase_queue_factory(cfg)
-        counter = [0]
-
-        def factory():
-            counter[0] += 1
-            return LossyQueue(inner_factory(), 0.03, seed=counter[0])
-
+        factory = lossy_queue_factory(pase_queue_factory(cfg), 0.03)
         topo = StarTopology(sim, num_hosts=4, queue_factory=factory)
         cp = PaseControlPlane(sim, topo, cfg)
         flows = []
