@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, Mapping, Sequence
 
 from repro.harness import (
     ExperimentResult,
+    ExperimentSpec,
     format_series_table,
     run_experiment,
     series_from_results,
@@ -64,10 +65,10 @@ def sweep(
         for protocol in protocols:
             results[protocol] = {}
             for load in loads:
-                results[protocol][load] = run_experiment(
+                results[protocol][load] = run_experiment(ExperimentSpec.build(
                     protocol, scenario_factory(), load,
                     num_flows=flows(num_flows), seed=seed, **kwargs,
-                )
+                ))
         return results
 
     from repro.runner import (RunnerConfig, SweepSpec, results_by_protocol_load,

@@ -1,0 +1,46 @@
+"""Performance microbenchmark suite for the simulation core.
+
+Three layers, each isolating one slice of the stack:
+
+* :mod:`benchmarks.perf.bench_engine` — the bare event loop
+  (events/second, no network machinery at all),
+* :mod:`benchmarks.perf.bench_switch` — the fabric datapath
+  (packets/second through a loaded switch, no transports),
+* :mod:`benchmarks.perf.bench_sweep` — a canonical ``left-right`` PASE
+  sweep through :mod:`repro.runner` (wall-clock, full stack, with the
+  runner's JSONL ledger).
+
+``python -m benchmarks.perf`` runs all three and writes ``BENCH_sim.json``
+at the repository root; see EXPERIMENTS.md for the schema.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+
+def best_of(fn: Callable[[], float], repeats: int = 3) -> float:
+    """Run a throughput measurement ``repeats`` times, keep the best.
+
+    Microbenchmarks on shared machines are noisy in one direction only
+    (interference slows them down), so max is the low-variance estimator.
+    """
+    return max(fn() for _ in range(repeats))
+
+
+def timed(fn: Callable[[], int]) -> float:
+    """Call ``fn`` (which returns an operation count) and return ops/sec."""
+    t0 = time.perf_counter()
+    ops = fn()
+    return ops / (time.perf_counter() - t0)
+
+
+#: Pre-optimization engine throughput, measured on this suite's own spin /
+#: churn workloads at the seed commit (before list-entry heap records,
+#: pooled ``post()`` entries, and the tightened run loop).  BENCH_sim.json
+#: embeds these so every report carries its own point of comparison.
+BASELINE_EVENTS_PER_SEC: Dict[str, float] = {
+    "spin": 425_380.0,
+    "churn": 224_787.0,
+}

@@ -1,0 +1,116 @@
+"""Run the full perf suite and write ``BENCH_sim.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf               # full scale
+    PYTHONPATH=src python -m benchmarks.perf --scale smoke # CI-sized
+    PYTHONPATH=src python -m benchmarks.perf --output /tmp/bench.json
+
+The report embeds the pre-optimization baseline so every BENCH_sim.json
+carries its own point of comparison (see EXPERIMENTS.md for the schema).
+Exit status is non-zero when engine throughput fails the checked-in floor
+(``benchmarks/perf/floor.json``) by more than the allowed regression — CI
+uses this as its pass/fail signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+from benchmarks.perf import BASELINE_EVENTS_PER_SEC, bench_engine
+from benchmarks.perf import bench_sweep, bench_switch
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FLOOR_PATH = Path(__file__).resolve().parent / "floor.json"
+#: CI fails when measured engine throughput drops below floor * (1 - this).
+ALLOWED_REGRESSION = 0.30
+
+
+def build_report(scale: str) -> dict:
+    engine = bench_engine.run(scale=scale)
+    switch = bench_switch.run(scale=scale)
+    sweep = bench_sweep.run(scale=scale)
+    speedup = {
+        "spin": engine["spin_post_events_per_sec"]
+                / BASELINE_EVENTS_PER_SEC["spin"],
+        "churn": engine["churn_post_events_per_sec"]
+                 / BASELINE_EVENTS_PER_SEC["churn"],
+    }
+    return {
+        "schema": "bench_sim/v1",
+        "suite": "benchmarks/perf",
+        "scale": scale,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": {
+            "engine_events_per_sec": dict(BASELINE_EVENTS_PER_SEC),
+            "note": "pre-optimization engine, schedule() API, same "
+                    "spin/churn workloads (seed commit)",
+        },
+        "results": {
+            "engine": engine,
+            "switch": switch,
+            "sweep": sweep,
+        },
+        "speedup_vs_baseline": speedup,
+    }
+
+
+def check_floor(report: dict) -> list:
+    """Compare engine numbers against the checked-in floor; return a list
+    of human-readable violations (empty = pass)."""
+    floor = json.loads(FLOOR_PATH.read_text())
+    failures = []
+    for metric, floor_value in floor["engine"].items():
+        measured = report["results"]["engine"].get(metric)
+        threshold = floor_value * (1.0 - ALLOWED_REGRESSION)
+        if measured is None:
+            failures.append(f"{metric}: missing from report")
+        elif measured < threshold:
+            failures.append(
+                f"{metric}: {measured:,.0f} events/sec is below "
+                f"{threshold:,.0f} (floor {floor_value:,.0f} - "
+                f"{ALLOWED_REGRESSION:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf")
+    parser.add_argument("--scale", choices=("full", "smoke"), default="full")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_sim.json")
+    parser.add_argument("--no-floor-check", action="store_true",
+                        help="write the report but skip the regression gate")
+    args = parser.parse_args(argv)
+
+    report = build_report(args.scale)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    engine = report["results"]["engine"]
+    print(f"engine  spin(post):      {engine['spin_post_events_per_sec']:>12,.0f} events/sec "
+          f"({report['speedup_vs_baseline']['spin']:.2f}x baseline)")
+    print(f"engine  spin(schedule):  {engine['spin_schedule_events_per_sec']:>12,.0f} events/sec")
+    print(f"engine  churn(post):     {engine['churn_post_events_per_sec']:>12,.0f} events/sec "
+          f"({report['speedup_vs_baseline']['churn']:.2f}x baseline)")
+    print(f"engine  churn(schedule): {engine['churn_schedule_events_per_sec']:>12,.0f} events/sec")
+    switch = report["results"]["switch"]
+    print(f"switch  incast:          {switch['incast_packets_per_sec']:>12,.0f} packets/sec")
+    sweep = report["results"]["sweep"]
+    print(f"sweep   left-right pase: {sweep['wallclock_sec']:>12.2f} s wall "
+          f"({sweep['sim_events_per_sec']:,.0f} sim events/sec)")
+    print(f"report: {args.output}")
+
+    if args.no_floor_check:
+        return 0
+    failures = check_floor(report)
+    for failure in failures:
+        print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

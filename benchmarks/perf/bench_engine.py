@@ -1,0 +1,76 @@
+"""Bare event-loop throughput: events/second with no network machinery.
+
+Two workload shapes, each through both scheduling APIs:
+
+* ``spin`` — one event in flight at a time (heap depth 1): measures
+  per-event fixed cost with no sift work.
+* ``churn`` — a steady-state heap of ~2000 pending timers with randomized
+  deadlines: adds the ``O(log n)`` heap maintenance that dominates
+  congested-fabric runs.
+
+``schedule()`` returns a cancellable handle (one handle + one entry
+allocation per event); ``post()`` is the fire-and-forget fast path that
+recycles heap entries through the simulator's free list.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.sim.engine import Simulator
+
+from benchmarks.perf import best_of
+
+
+def spin_events_per_sec(count: int = 200_000, api: str = "post") -> float:
+    """A single self-rescheduling tick chain, ``count`` events long."""
+    sim = Simulator()
+    emit = getattr(sim, api)
+
+    def tick(n: int) -> None:
+        if n > 0:
+            emit(1e-6, tick, n - 1)
+
+    emit(0.0, tick, count)
+    t0 = time.perf_counter()
+    processed = sim.run()
+    return processed / (time.perf_counter() - t0)
+
+
+def churn_events_per_sec(count: int = 50_000, width: int = 2_000,
+                         api: str = "post") -> float:
+    """``width`` self-rescheduling callbacks with seeded-random deadlines
+    (steady heap depth = ``width``), capped at ``count`` fired events.
+    This is byte-for-byte the workload the pre-optimization baseline in
+    :data:`benchmarks.perf.BASELINE_EVENTS_PER_SEC` was measured on."""
+    import random
+
+    sim = Simulator()
+    emit = getattr(sim, api)
+    rng = random.Random(7)
+
+    def cb() -> None:
+        emit(rng.random() * 1e-3, cb)
+
+    for _ in range(width):
+        emit(rng.random() * 1e-3, cb)
+    t0 = time.perf_counter()
+    processed = sim.run(max_events=count)
+    return processed / (time.perf_counter() - t0)
+
+
+def run(scale: str = "full", repeats: int = 3) -> Dict[str, float]:
+    """All engine measurements as a flat ``{metric: events_per_sec}``."""
+    n_spin = 200_000 if scale == "full" else 40_000
+    n_churn = 50_000 if scale == "full" else 15_000
+    return {
+        "spin_post_events_per_sec": best_of(
+            lambda: spin_events_per_sec(n_spin, api="post"), repeats),
+        "spin_schedule_events_per_sec": best_of(
+            lambda: spin_events_per_sec(n_spin, api="schedule"), repeats),
+        "churn_post_events_per_sec": best_of(
+            lambda: churn_events_per_sec(n_churn, api="post"), repeats),
+        "churn_schedule_events_per_sec": best_of(
+            lambda: churn_events_per_sec(n_churn, api="schedule"), repeats),
+    }

@@ -8,7 +8,7 @@ ones multiply messages with little AFCT gain.
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import left_right, run_experiment
+from repro.harness import ExperimentSpec, left_right, run_experiment
 from repro.utils.units import USEC
 
 LOAD = 0.7
@@ -19,9 +19,9 @@ def run_figure():
     rows = {}
     for interval in INTERVALS:
         cfg = PaseConfig(arbitration_interval=interval)
-        result = run_experiment("pase", left_right(), LOAD,
+        result = run_experiment(ExperimentSpec("pase", left_right(), LOAD,
                                 num_flows=flows(250), seed=42,
-                                pase_config=cfg)
+                                pase_config=cfg))
         rows[interval] = result
     lines = ["Ablation: arbitration interval (left-right, 70% load)",
              "-" * 56,

@@ -9,7 +9,7 @@ steals capacity from flows that still can.
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import format_series_table, intra_rack, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, intra_rack, run_experiment
 
 LOADS = (0.5, 0.7, 0.9)
 
@@ -19,9 +19,9 @@ def run_figure():
     for label, et in (("pase", False), ("pase+ET", True)):
         cfg = PaseConfig(criterion="deadline", early_termination=et)
         results[label] = {
-            load: run_experiment(
+            load: run_experiment(ExperimentSpec(
                 "pase", intra_rack(num_hosts=20, with_deadlines=True), load,
-                num_flows=flows(200), seed=42, pase_config=cfg)
+                num_flows=flows(200), seed=42, pase_config=cfg))
             for load in LOADS
         }
     series = {name: {l: r.application_throughput for l, r in by_load.items()}

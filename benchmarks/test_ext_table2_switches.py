@@ -8,7 +8,7 @@ and fall back to loss-based control.
 """
 
 from benchmarks.bench_common import emit, flows, run_once
-from repro.harness import format_series_table, intra_rack, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, intra_rack, run_experiment
 from repro.sim.switch_models import TABLE2, pase_config_for
 
 LOADS = (0.5, 0.8)
@@ -20,9 +20,9 @@ def run_figure():
         cfg = pase_config_for(model)
         label = f"{name}({model.num_queues}q{'' if model.ecn else ',noECN'})"
         results[label] = {
-            load: run_experiment("pase", intra_rack(num_hosts=20), load,
+            load: run_experiment(ExperimentSpec("pase", intra_rack(num_hosts=20), load,
                                  num_flows=flows(200), seed=42,
-                                 pase_config=cfg)
+                                 pase_config=cfg))
             for load in LOADS
         }
     series = {label: {l: r.afct * 1e3 for l, r in by_load.items()}

@@ -12,7 +12,7 @@ from collections import defaultdict
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import all_to_all_intra_rack, format_series_table, run_experiment
+from repro.harness import ExperimentSpec, all_to_all_intra_rack, format_series_table, run_experiment
 
 LOADS = (0.5, 0.7, 0.9)
 
@@ -42,9 +42,9 @@ def run_figure():
         cfg = PaseConfig(criterion=criterion)
         results[label] = {}
         for load in LOADS:
-            r = run_experiment(
+            r = run_experiment(ExperimentSpec(
                 "pase", all_to_all_intra_rack(num_hosts=20, fanin=8), load,
-                num_flows=flows(320), seed=42, pase_config=cfg)
+                num_flows=flows(320), seed=42, pase_config=cfg))
             results[label][load] = r
     mean_tct = {}
     for label, by_load in results.items():

@@ -10,7 +10,7 @@ SRPT benefit without knowing flow sizes.
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import format_series_table, intra_rack, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, intra_rack, run_experiment
 from repro.metrics import bucket_stats
 from repro.utils.units import KB, MB
 from repro.workloads import web_search_sizes
@@ -31,9 +31,9 @@ def run_figure():
         ("dctcp", "dctcp", None),
     ):
         results[label] = {
-            load: run_experiment(protocol, scenario(), load,
+            load: run_experiment(ExperimentSpec(protocol, scenario(), load,
                                  num_flows=flows(250), seed=42,
-                                 pase_config=cfg, horizon=5.0)
+                                 pase_config=cfg, horizon=5.0))
             for load in LOADS
         }
     afct = {label: {l: r.afct * 1e3 for l, r in by_load.items()}

@@ -5,7 +5,7 @@ almost everywhere (their CDFs sit to the right of PASE's).
 """
 
 from benchmarks.bench_common import emit, flows, run_once
-from repro.harness import format_cdf, left_right, run_experiment
+from repro.harness import ExperimentSpec, format_cdf, left_right, run_experiment
 
 LOAD = 0.7
 
@@ -13,8 +13,8 @@ LOAD = 0.7
 def run_figure():
     results = {}
     for protocol in ("pase", "l2dct", "dctcp"):
-        results[protocol] = run_experiment(
-            protocol, left_right(), LOAD, num_flows=flows(250), seed=42)
+        results[protocol] = run_experiment(ExperimentSpec(
+            protocol, left_right(), LOAD, num_flows=flows(250), seed=42))
     cdfs = {name: r.stats.fct_cdf() for name, r in results.items()}
     emit("fig09b_fct_cdf", format_cdf(
         "Figure 9b: FCT CDF at 70% load — left-right inter-rack", cdfs))

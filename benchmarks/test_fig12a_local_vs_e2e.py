@@ -19,7 +19,7 @@ Our reproduction separates two regimes (see EXPERIMENTS.md):
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import format_series_table, left_right, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, left_right, run_experiment
 
 LOADS = (0.3, 0.5, 0.7, 0.9)
 
@@ -29,9 +29,9 @@ def _sweep(shared: bool):
     out = {}
     for protocol in ("pase", "pase-local"):
         out[protocol] = {
-            load: run_experiment(protocol, left_right(), load,
+            load: run_experiment(ExperimentSpec(protocol, left_right(), load,
                                  num_flows=flows(250), seed=42,
-                                 pase_config=base)
+                                 pase_config=base))
             for load in LOADS
         }
     return out

@@ -7,7 +7,7 @@ switches (Table 2: 3-10 queues per port).
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import format_series_table, left_right, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, left_right, run_experiment
 
 LOADS = (0.5, 0.7, 0.9)
 QUEUE_COUNTS = (3, 4, 6, 8)
@@ -18,9 +18,9 @@ def run_figure():
     for num_queues in QUEUE_COUNTS:
         cfg = PaseConfig(num_queues=num_queues)
         results[f"{num_queues}q"] = {
-            load: run_experiment("pase", left_right(), load,
+            load: run_experiment(ExperimentSpec("pase", left_right(), load,
                                  num_flows=flows(250), seed=42,
-                                 pase_config=cfg)
+                                 pase_config=cfg))
             for load in LOADS
         }
     series = {name: {load: r.afct * 1e3 for load, r in by_load.items()}

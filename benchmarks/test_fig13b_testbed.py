@@ -9,7 +9,7 @@ simulator (see DESIGN.md), keeping every testbed parameter.
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import format_series_table, run_experiment
+from repro.harness import ExperimentSpec, format_series_table, run_experiment
 from repro.harness import testbed as scn_testbed
 from repro.harness.protocols import DctcpBinding
 from repro.sim.queues import REDQueue
@@ -30,13 +30,13 @@ class DctcpTestbedBinding(DctcpBinding):
 def run_figure():
     results = {"pase": {}, "dctcp": {}}
     for load in LOADS:
-        results["pase"][load] = run_experiment(
+        results["pase"][load] = run_experiment(ExperimentSpec(
             "pase", scn_testbed(), load, num_flows=flows(200), seed=42,
-            pase_config=PASE_CFG)
+            pase_config=PASE_CFG))
         scn = scn_testbed()
-        results["dctcp"][load] = run_experiment(
+        results["dctcp"][load] = run_experiment(ExperimentSpec(
             "dctcp", scn, load, num_flows=flows(200), seed=42,
-            binding=DctcpTestbedBinding(scn))
+            binding=DctcpTestbedBinding(scn)))
     series = {name: {load: r.afct * 1e3 for load, r in by_load.items()}
               for name, by_load in results.items()}
     emit("fig13b_testbed", format_series_table(

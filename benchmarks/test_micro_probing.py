@@ -22,7 +22,7 @@ from dataclasses import replace
 
 from benchmarks.bench_common import emit, flows, run_once
 from repro.core import PaseConfig
-from repro.harness import all_to_all_intra_rack, format_series_table, run_experiment
+from repro.harness import ExperimentSpec, all_to_all_intra_rack, format_series_table, run_experiment
 from repro.utils.units import MSEC
 
 LOADS = (0.5, 0.8, 0.9)
@@ -35,9 +35,9 @@ def run_figure():
     for label, probing in (("pase", True), ("pase-noprobe", False)):
         cfg = replace(BASE, probing_enabled=probing)
         results[label] = {
-            load: run_experiment(
+            load: run_experiment(ExperimentSpec(
                 "pase", all_to_all_intra_rack(num_hosts=20, fanin=16), load,
-                num_flows=flows(250), seed=42, pase_config=cfg)
+                num_flows=flows(250), seed=42, pase_config=cfg))
             for load in LOADS
         }
     series = {name: {l: r.afct * 1e3 for l, r in by_load.items()}

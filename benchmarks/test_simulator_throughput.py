@@ -5,7 +5,7 @@ against performance regressions in the simulator core that would make the
 figure sweeps impractically slow.
 """
 
-from repro.harness import intra_rack, run_experiment
+from repro.harness import ExperimentSpec, intra_rack, run_experiment
 from repro.sim.engine import Simulator
 
 
@@ -26,13 +26,34 @@ def test_event_loop_throughput(benchmark):
     assert events == 20_001
 
 
+def test_event_loop_post_throughput(benchmark):
+    """Same chain through the pooled fire-and-forget path — the API the
+    packet datapath actually uses."""
+
+    def spin():
+        sim = Simulator()
+        count = 20_000
+
+        def tick(n):
+            if n > 0:
+                sim.post(1e-6, tick, n - 1)
+
+        sim.post(0.0, tick, count)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(spin)
+    assert events == 20_001
+
+
 def test_packet_path_throughput(benchmark):
     """End-to-end packets/second through the full stack (one small
     experiment), reported as wall time per run."""
 
     def run():
-        return run_experiment("dctcp", intra_rack(num_hosts=6), load=0.5,
-                              num_flows=20, seed=1)
+        return run_experiment(ExperimentSpec(
+            "dctcp", intra_rack(num_hosts=6), load=0.5,
+            num_flows=20, seed=1))
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.stats.completion_fraction == 1.0

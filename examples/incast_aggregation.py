@@ -12,7 +12,7 @@ near-zero loss and a much shorter tail (Fig. 10c).
 Run:  python examples/incast_aggregation.py
 """
 
-from repro.harness import all_to_all_intra_rack, run_experiment
+from repro.harness import ExperimentSpec, all_to_all_intra_rack, run_experiment
 
 LOADS = (0.5, 0.8)
 
@@ -25,8 +25,8 @@ def main() -> None:
     for load in LOADS:
         for protocol in ("pase", "pfabric", "dctcp"):
             scenario = all_to_all_intra_rack(num_hosts=20, fanin=16)
-            result = run_experiment(protocol, scenario, load=load,
-                                    num_flows=320, seed=5)
+            result = run_experiment(ExperimentSpec(protocol, scenario, load=load,
+                                    num_flows=320, seed=5))
             retx = sum(f.retransmissions for f in result.flows)
             print(f"{load:<7.0%}{protocol:<10}"
                   f"{result.afct * 1e3:>7.2f} ms  "

@@ -14,16 +14,16 @@ The package provides:
 
 Quickstart::
 
-    from repro.harness import intra_rack, run_experiment
-    result = run_experiment("pase", intra_rack(num_hosts=10), load=0.6,
-                            num_flows=200)
+    from repro.harness import ExperimentSpec, intra_rack, run_experiment
+    result = run_experiment(ExperimentSpec(
+        "pase", intra_rack(num_hosts=10), load=0.6, num_flows=200))
     print(result.afct, result.stats.p99_fct)
 """
 
 __version__ = "1.0.0"
 
 from repro.core import PaseConfig, PaseControlPlane, PaseReceiver, PaseSender
-from repro.harness import run_experiment, sweep_loads
+from repro.harness import ExperimentSpec, run_experiment, sweep_loads
 from repro.sim import Simulator
 from repro.transports import Flow
 
@@ -33,6 +33,7 @@ __all__ = [
     "PaseControlPlane",
     "PaseReceiver",
     "PaseSender",
+    "ExperimentSpec",
     "run_experiment",
     "sweep_loads",
     "Simulator",

@@ -30,6 +30,7 @@ from repro.core.config import PaseConfig
 from repro.core.control_plane import PaseControlPlane
 from repro.sim.engine import Event
 from repro.sim.packet import HEADER_SIZE, Packet, PacketKind
+from repro.sim.trace import CAT_FALLBACK, CAT_QUEUE_CHANGE
 from repro.transports.base import ReceiverAgent, SenderAgent, TransportConfig
 from repro.transports.dctcp import DctcpAlphaEstimator
 from repro.utils.units import bytes_to_bits
@@ -249,7 +250,7 @@ class PaseSender(SenderAgent):
 
     def _set_queue(self, queue: int) -> None:
         if queue != self.queue_index and self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "queue-change",
+            self.sim.tracer.record(self.sim.now, CAT_QUEUE_CHANGE,
                                    self.flow.flow_id,
                                    old=self.queue_index, new=queue)
         self.queue_index = queue
@@ -312,7 +313,7 @@ class PaseSender(SenderAgent):
         self.ssthresh = self.config.max_cwnd
         self._arbitrated = True  # sending no longer gated on arbitration
         if self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "fallback",
+            self.sim.tracer.record(self.sim.now, CAT_FALLBACK,
                                    self.flow.flow_id, phase="enter",
                                    queue=queue)
         self.send_window()
@@ -324,7 +325,7 @@ class PaseSender(SenderAgent):
         self.flow.fallback_time += duration
         self.flow.recovery_latencies.append(duration)
         if self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "fallback",
+            self.sim.tracer.record(self.sim.now, CAT_FALLBACK,
                                    self.flow.flow_id, phase="exit",
                                    duration=duration)
 

@@ -29,6 +29,7 @@ from repro.faults.schedule import (
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.network import Network
+from repro.sim.trace import CAT_FAULT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.control_plane import PaseControlPlane
@@ -126,7 +127,7 @@ class FaultInjector:
     def _record(self, kind: str, subject, **details) -> None:
         self.injected[kind] = self.injected.get(kind, 0) + 1
         if self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "fault", subject,
+            self.sim.tracer.record(self.sim.now, CAT_FAULT, subject,
                                    kind=kind, **details)
 
     def _link_down(self, links: List[Link], flush: bool) -> None:

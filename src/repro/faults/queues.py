@@ -39,6 +39,9 @@ class LossyQueue(QueueDiscipline):
             self.injected_drops += 1
             self.inner.drops += 1
             self.inner.drop_bytes += pkt.size
+            hook = self.inner.drop_hook
+            if hook is not None:
+                hook(pkt, "injected-loss")
             return False
         return self.inner.enqueue(pkt)
 
@@ -53,6 +56,17 @@ class LossyQueue(QueueDiscipline):
         return self.inner.byte_depth
 
     # -- counter delegation (one merged view with the wrapped queue) -------
+    @property
+    def drop_hook(self):
+        return self.inner.drop_hook
+
+    @drop_hook.setter
+    def drop_hook(self, hook) -> None:
+        # A link constructed directly on a LossyQueue (lossy_queue_factory)
+        # installs its trace hook through the wrapper onto the inner queue,
+        # so wrap/unwrap mid-run never loses instrumentation.
+        self.inner.drop_hook = hook
+
     @property
     def drops(self) -> int:
         return self.inner.drops

@@ -1,6 +1,7 @@
 """Experiment harness: scenarios, protocol bindings, runner, reporting."""
 
-from repro.harness.experiment import ExperimentResult, run_experiment, sweep_loads
+from repro.harness.experiment import (ExperimentResult, ExperimentSpec,
+                                      run_experiment, sweep_loads)
 from repro.harness.protocols import PROTOCOL_NAMES, ProtocolBinding, make_binding
 from repro.harness.report import (
     format_cdf,
@@ -18,6 +19,7 @@ from repro.harness.scenarios import (
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentSpec",
     "run_experiment",
     "sweep_loads",
     "PROTOCOL_NAMES",

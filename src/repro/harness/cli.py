@@ -30,10 +30,11 @@ import sys
 from typing import List, Optional
 
 from repro.core import PaseConfig
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import (ExperimentResult, ExperimentSpec,
+                                      run_experiment)
 from repro.harness.protocols import PROTOCOL_NAMES
-from repro.harness.scenarios import SCENARIO_BUILDERS, Scenario
-from repro.harness.scenarios import build_scenario as build_named_scenario
+from repro.harness.scenarios import (SCENARIO_BUILDERS, Scenario,
+                                     build_scenario, scenario_cli_kwargs)
 from repro.metrics.slowdown import bucket_stats
 from repro.utils.units import KB
 
@@ -87,14 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def scenario_kwargs(args: argparse.Namespace) -> dict:
     """Map the CLI's generic size flags onto the scenario's constructor
-    parameters (shared logic with ``repro.runner.cli``)."""
-    from repro.runner.cli import scenario_cli_kwargs
-
+    parameters (one shared mapping in ``repro.harness.scenarios``)."""
     return scenario_cli_kwargs(args.scenario, args.hosts, args.fanin)
-
-
-def build_scenario(args: argparse.Namespace) -> Scenario:
-    return build_named_scenario(args.scenario, **scenario_kwargs(args))
 
 
 def build_pase_config(args: argparse.Namespace,
@@ -155,16 +150,16 @@ def print_summary(result: ExperimentResult, show_buckets: bool) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    scenario = build_scenario(args)
+    scenario = build_scenario(args.scenario, **scenario_kwargs(args))
     pase_config = build_pase_config(args, scenario)
     loads: List[float] = args.load
 
     if len(loads) == 1 and args.jobs == 1:
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec(
             args.protocol, scenario, loads[0],
             num_flows=args.flows, seed=args.seed,
             pase_config=pase_config, horizon=args.horizon,
-        )
+        ))
         print_summary(result, args.buckets)
         return 0
 

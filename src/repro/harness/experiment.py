@@ -1,18 +1,25 @@
-"""The experiment runner: one (protocol, scenario, load) → metrics.
+"""The experiment runner: one :class:`ExperimentSpec` → metrics.
 
-``run_experiment`` builds the simulator, topology, and protocol machinery,
-materializes the Poisson workload, launches each flow's agents at its
-arrival time, and runs until every foreground flow completes (or a safety
-horizon passes).  It returns an :class:`ExperimentResult` bundling flow
-records, FCT statistics, loss accounting, and — for PASE — control-plane
-overhead counters.
+``run_experiment(spec)`` builds the simulator, topology, and protocol
+machinery, materializes the Poisson workload, launches each flow's agents
+at its arrival time, and runs until every foreground flow completes (or a
+safety horizon passes).  It returns an :class:`ExperimentResult` bundling
+flow records, FCT statistics, loss accounting, and — for PASE —
+control-plane overhead counters.
+
+:class:`ExperimentSpec` is the one canonical description of a run; every
+entry point (``sweep_loads``, ``repro.runner`` descriptors, the CLIs, the
+benchmark suite) constructs a spec.  The historical keyword signature
+``run_experiment(protocol, scenario, load, ...)`` still works through a
+deprecation shim but new code should build specs.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core import PaseConfig
 from repro.core.control_plane import PaseControlPlane
@@ -26,6 +33,61 @@ from repro.workloads.generator import WorkloadConfig, generate_workload
 
 from repro.harness.protocols import ProtocolBinding, make_binding
 from repro.harness.scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that determines one run, as immutable plain data.
+
+    Field names deliberately mirror the historical ``run_experiment``
+    keywords, so legacy call sites convert mechanically::
+
+        run_experiment("pase", scn, 0.5, num_flows=40, seed=7)
+        # becomes
+        run_experiment(ExperimentSpec("pase", scn, 0.5, num_flows=40, seed=7))
+
+    ``binding_overrides`` carries extra keyword arguments for
+    :func:`~repro.harness.protocols.make_binding` (ignored when an explicit
+    ``binding`` is supplied, exactly as before).
+    """
+
+    protocol: str
+    scenario: Scenario
+    load: float
+    num_flows: int = 300
+    seed: int = 1
+    pase_config: Optional[PaseConfig] = None
+    horizon: Optional[float] = None
+    fault_schedule: Optional[FaultSchedule] = None
+    binding: Optional[ProtocolBinding] = None
+    binding_overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, protocol: str, scenario: Scenario, load: float,
+              num_flows: int = 300, seed: int = 1,
+              pase_config: Optional[PaseConfig] = None,
+              horizon: Optional[float] = None,
+              binding: Optional["ProtocolBinding"] = None,
+              fault_schedule: Optional[FaultSchedule] = None,
+              **binding_overrides: Any) -> "ExperimentSpec":
+        """Construct a spec from loose keywords — the parameter order is the
+        historical ``run_experiment`` signature, and unrecognised keywords
+        land in ``binding_overrides``.  This is the bridge for the
+        deprecation shim and for sweep plumbing that forwards ``**kwargs``
+        untyped."""
+        return cls(protocol, scenario, load, num_flows=num_flows, seed=seed,
+                   pase_config=pase_config, horizon=horizon,
+                   fault_schedule=fault_schedule, binding=binding,
+                   binding_overrides=binding_overrides)
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy with the given fields changed (spec fields only)."""
+        return replace(self, **changes)
+
+    @property
+    def label(self) -> str:
+        return (f"{self.protocol}/{self.scenario.name}"
+                f"/load={self.load:g}/seed={self.seed}")
 
 
 @dataclass
@@ -74,33 +136,54 @@ class ExperimentResult:
         return replace(self, flows=[replace(f) for f in self.flows])
 
 
-def run_experiment(
-    protocol: str,
-    scenario: Scenario,
-    load: float,
-    num_flows: int = 300,
-    seed: int = 1,
-    pase_config: Optional[PaseConfig] = None,
-    horizon: Optional[float] = None,
-    binding: Optional[ProtocolBinding] = None,
-    fault_schedule: Optional[FaultSchedule] = None,
-    **binding_overrides,
-) -> ExperimentResult:
+def run_experiment(spec, *legacy_args, **legacy_kwargs) -> ExperimentResult:
     """Run one experiment and collect its metrics.
 
-    ``horizon`` caps simulated time past the last arrival (default 2 s) so a
-    protocol that strands flows still terminates; stranded flows show up in
-    ``stats.completion_fraction`` and count as missed deadlines.
+    The canonical call is ``run_experiment(spec)`` with an
+    :class:`ExperimentSpec`.  The historical keyword form
+    ``run_experiment(protocol, scenario, load, ...)`` still works but emits
+    a :class:`DeprecationWarning`; it will be removed once external callers
+    have migrated.
+    """
+    if isinstance(spec, ExperimentSpec):
+        if legacy_args or legacy_kwargs:
+            raise TypeError(
+                "run_experiment(spec) takes no additional arguments; "
+                "put them on the ExperimentSpec instead")
+        return _execute(spec)
+    warnings.warn(
+        "run_experiment(protocol, scenario, load, ...) is deprecated; "
+        "pass an ExperimentSpec: run_experiment(ExperimentSpec(...))",
+        DeprecationWarning, stacklevel=2)
+    return _execute(ExperimentSpec.build(spec, *legacy_args, **legacy_kwargs))
 
-    ``fault_schedule`` (or the scenario's own ``fault_schedule``) arms a
-    :class:`~repro.faults.FaultInjector` against the run; the result then
+
+def _execute(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one :class:`ExperimentSpec`.
+
+    ``spec.horizon`` caps simulated time past the last arrival (default 2 s)
+    so a protocol that strands flows still terminates; stranded flows show
+    up in ``stats.completion_fraction`` and count as missed deadlines.
+
+    ``spec.fault_schedule`` (or the scenario's own ``fault_schedule``) arms
+    a :class:`~repro.faults.FaultInjector` against the run; the result then
     carries a :class:`~repro.metrics.faults.FaultCounters`.  Without one,
     nothing fault-related executes and results are byte-identical to a
     fault-free build.
     """
+    protocol = spec.protocol
+    scenario = spec.scenario
+    load = spec.load
+    num_flows = spec.num_flows
+    seed = spec.seed
+    horizon = spec.horizon
+    fault_schedule = spec.fault_schedule
+
     sim = Simulator()
+    binding = spec.binding
     if binding is None:
-        binding = make_binding(protocol, scenario, pase_config, **binding_overrides)
+        binding = make_binding(protocol, scenario, spec.pase_config,
+                               **spec.binding_overrides)
     topology = scenario.build_topology(sim, binding.queue_factory())
     binding.setup_network(sim, topology)
 
@@ -217,11 +300,12 @@ def sweep_loads(
     if jobs == 1 and cache_dir is None:
         results: Dict[float, ExperimentResult] = {}
         for load in loads:
-            results[load] = run_experiment(
+            spec = ExperimentSpec.build(
                 protocol, scenario_factory(), load,
                 num_flows=num_flows, seed=seed, pase_config=pase_config,
                 **kwargs,
             )
+            results[load] = run_experiment(spec)
         return results
 
     from repro.runner import (RunDescriptor, RunnerConfig, results_by_load,

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import PaseConfig
-from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.experiment import (ExperimentResult, ExperimentSpec,
+                                      run_experiment)
 from repro.harness.scenarios import Scenario
 
 #: Extracts a scalar from a result, e.g. ``lambda r: r.afct``.
@@ -98,10 +99,10 @@ def replicate(
     if jobs == 1 and cache_dir is None:
         values = []
         for seed in seeds:
-            result = run_experiment(protocol, scenario_factory(), load,
-                                    num_flows=num_flows, seed=seed,
-                                    pase_config=pase_config, **kwargs)
-            values.append(metric(result))
+            spec = ExperimentSpec.build(protocol, scenario_factory(), load,
+                                        num_flows=num_flows, seed=seed,
+                                        pase_config=pase_config, **kwargs)
+            values.append(metric(run_experiment(spec)))
         return Replication(values, confidence=confidence)
 
     from repro.runner import (RunDescriptor, RunnerConfig,

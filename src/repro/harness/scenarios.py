@@ -342,3 +342,22 @@ def build_scenario(name: str, **kwargs) -> Scenario:
             f"unknown scenario {name!r}; known: {sorted(SCENARIO_BUILDERS)}"
         ) from None
     return builder(**kwargs)
+
+
+def scenario_cli_kwargs(name: str, hosts: Optional[int] = None,
+                        fanin: int = 8) -> dict:
+    """Map the generic ``--hosts``/``--fanin`` CLI flags onto a registered
+    scenario's actual constructor parameters.  Lives beside the registry so
+    both CLIs (``repro.harness.cli`` and ``repro.runner``) share one
+    mapping."""
+    if name in ("intra-rack", "intra-rack-deadlines",
+                "intra-rack-arb-crash", "intra-rack-link-flap",
+                "intra-rack-data-loss"):
+        return {"num_hosts": hosts or 20}
+    if name == "all-to-all":
+        return {"num_hosts": hosts or 20, "fanin": fanin}
+    if name in ("left-right", "left-right-lossy-control"):
+        return {"hosts_per_rack": hosts or 40}
+    if name == "testbed":
+        return {"num_hosts": hosts or 10}
+    raise ValueError(f"unknown scenario {name!r}")

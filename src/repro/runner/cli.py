@@ -24,7 +24,7 @@ from typing import List, Optional
 
 from repro.harness.protocols import PROTOCOL_NAMES
 from repro.harness.report import format_series_table, series_from_results
-from repro.harness.scenarios import SCENARIO_BUILDERS
+from repro.harness.scenarios import SCENARIO_BUILDERS, scenario_cli_kwargs
 from repro.runner.api import RunnerConfig, run_sweep
 from repro.runner.cache import default_cache_dir
 from repro.runner.sink import results_by_protocol_load
@@ -38,23 +38,6 @@ def _csv(cast):
         except ValueError as exc:
             raise argparse.ArgumentTypeError(str(exc)) from None
     return parse
-
-
-def scenario_cli_kwargs(name: str, hosts: Optional[int] = None,
-                        fanin: int = 8) -> dict:
-    """Map the generic ``--hosts``/``--fanin`` flags onto each registered
-    scenario's actual constructor parameters (shared with the harness CLI)."""
-    if name in ("intra-rack", "intra-rack-deadlines",
-                "intra-rack-arb-crash", "intra-rack-link-flap",
-                "intra-rack-data-loss"):
-        return {"num_hosts": hosts or 20}
-    if name == "all-to-all":
-        return {"num_hosts": hosts or 20, "fanin": fanin}
-    if name in ("left-right", "left-right-lossy-control"):
-        return {"hosts_per_rack": hosts or 40}
-    if name == "testbed":
-        return {"num_hosts": hosts or 10}
-    raise ValueError(f"unknown scenario {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -123,11 +123,13 @@ class RunDescriptor:
             return self.scenario.build()
         return self.scenario()
 
-    def run(self):
-        """Execute this point in the current process (the worker entry)."""
-        from repro.harness.experiment import run_experiment
+    def to_experiment_spec(self):
+        """Materialize this grid point as an
+        :class:`~repro.harness.experiment.ExperimentSpec` (builds the
+        scenario, so call once per execution)."""
+        from repro.harness.experiment import ExperimentSpec
 
-        return run_experiment(
+        return ExperimentSpec.build(
             self.protocol,
             self.build_scenario(),
             self.load,
@@ -137,6 +139,12 @@ class RunDescriptor:
             horizon=self.horizon,
             **self.overrides,
         )
+
+    def run(self):
+        """Execute this point in the current process (the worker entry)."""
+        from repro.harness.experiment import run_experiment
+
+        return run_experiment(self.to_experiment_spec())
 
 
 @dataclass

@@ -1,13 +1,26 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)`` tuples
-in a binary heap.  The sequence number breaks ties deterministically so runs
-with the same seed replay identically, which the test suite relies on.
+A minimal, fast event loop.  Heap entries are plain lists
+``[time, seq, fn, args, poolable]`` so ``heapq`` orders them with C-level
+``(time, seq)`` tuple comparisons — no Python ``__lt__`` call per sift step.
+The sequence number breaks ties deterministically so runs with the same
+seed replay identically, which the test suite relies on.
 
-Cancellation is lazy: :meth:`Event.cancel` marks the event and the loop skips
-it when popped.  This keeps the heap operations O(log n) and avoids the cost
-of re-heapifying, which matters because transports cancel and re-arm
-retransmission timers on every ACK.
+Two scheduling APIs share one sequence counter (so mixing them never
+perturbs tie-break order):
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`Event` handle the caller can cancel later (retransmission
+  timers, arbitration ticks).  Cancellation is lazy: cancelling nulls the
+  entry's callback and the loop skips it when popped, keeping heap
+  operations O(log n) with no re-heapify.
+* :meth:`Simulator.post` / :meth:`Simulator.post_at` return nothing and
+  recycle their heap entries through a free list once fired.  This is the
+  hot path for the torrent of fire-and-forget events (link serialization
+  wake-ups, packet deliveries) where allocating a fresh handle plus entry
+  per packet dominates the event loop's cost.  Entries that handed out an
+  Event handle are never pooled — a stale ``cancel()`` after the event
+  fired must stay a no-op, not kill an unrelated recycled event.
 """
 
 from __future__ import annotations
@@ -15,32 +28,48 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
+
 
 class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule` so the
-    caller can cancel it later (e.g. a retransmission timer)."""
+    """Handle for a scheduled callback.  Returned by
+    :meth:`Simulator.schedule` so the caller can cancel it later (e.g. a
+    retransmission timer)."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("_entry",)
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
+    def __init__(self, entry: list):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[0]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[1]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[2] is None
 
     def cancel(self) -> None:
-        """Mark the event so the loop discards it instead of firing it."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        """Mark the event so the loop discards it instead of firing it.
+        Safe to call more than once, and after the event has fired."""
+        entry = self._entry
+        entry[2] = None
+        entry[3] = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.9f}, fn={getattr(self.fn, '__name__', self.fn)}, {state})"
+        fn = self._entry[2]
+        state = "cancelled" if fn is None else "pending"
+        return (f"Event(t={self._entry[0]:.9f}, "
+                f"fn={getattr(fn, '__name__', fn)}, {state})")
+
+
+_new_event = Event.__new__
 
 
 class Simulator:
@@ -58,7 +87,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[list] = []
+        self._free: List[list] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
@@ -68,7 +98,7 @@ class Simulator:
         self.tracer = None
 
     # ------------------------------------------------------------------
-    # Scheduling
+    # Scheduling (cancellable handles)
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
@@ -79,7 +109,14 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay!r})")
-        return self.schedule_at(self.now + delay, fn, *args)
+        self._seq = seq = self._seq + 1
+        entry = [self.now + delay, seq, fn, args, False]
+        _heappush(self._heap, entry)
+        # Event.__new__ + direct slot store skips the __init__ dispatch;
+        # this path allocates one handle per call so every cycle counts.
+        event = _new_event(Event)
+        event._entry = entry
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual ``time``."""
@@ -87,10 +124,51 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={time!r}, current time is {self.now!r}"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        self._seq = seq = self._seq + 1
+        entry = [time, seq, fn, args, False]
+        _heappush(self._heap, entry)
+        event = _new_event(Event)
+        event._entry = entry
         return event
+
+    # ------------------------------------------------------------------
+    # Posting (fire-and-forget fast path, pooled entries)
+    # ------------------------------------------------------------------
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Like :meth:`schedule`, but returns no handle and recycles the
+        heap entry after the callback fires.  Use for high-rate events that
+        are never cancelled (packet deliveries, serialization wake-ups)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = self.now + delay
+            entry[1] = seq
+            entry[2] = fn
+            entry[3] = args
+        else:
+            entry = [self.now + delay, seq, fn, args, True]
+        _heappush(self._heap, entry)
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time :meth:`post`."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at t={time!r}, current time is {self.now!r}"
+            )
+        self._seq = seq = self._seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry[0] = time
+            entry[1] = seq
+            entry[2] = fn
+            entry[3] = args
+        else:
+            entry = [time, seq, fn, args, True]
+        _heappush(self._heap, entry)
 
     # ------------------------------------------------------------------
     # Execution
@@ -103,27 +181,38 @@ class Simulator:
         self._running = True
         self._stopped = False
         heap = self._heap
+        free = self._free
+        heappop = _heappop
+        # Sentinel bounds keep the hot loop to two C-level compares instead
+        # of ``is not None`` tests on every iteration.
+        bound = _INF if until is None else until
+        budget = -1 if max_events is None else max_events
         try:
             while heap:
                 if self._stopped:
                     break
-                event = heap[0]
-                if until is not None and event.time > until:
+                entry = heap[0]
+                if entry[0] > bound:
                     # Advance the clock to the horizon so repeated run() calls
                     # observe monotonic time.
                     self.now = until
                     break
-                heapq.heappop(heap)
-                if event.cancelled:
+                heappop(heap)
+                fn = entry[2]
+                if fn is None:
                     continue
-                self.now = event.time
-                event.fn(*event.args)
+                self.now = entry[0]
+                fn(*entry[3])
+                if entry[4]:
+                    entry[2] = None
+                    entry[3] = ()
+                    free.append(entry)
                 processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed == budget:
                     break
         finally:
             self._running = False
+            self._events_processed += processed
         return processed
 
     def stop(self) -> None:
@@ -149,6 +238,6 @@ class Simulator:
         """Timestamp of the next live event, or ``None`` if the heap is
         empty.  Skips over cancelled events without firing anything."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0][2] is None:
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None

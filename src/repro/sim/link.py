@@ -8,6 +8,17 @@ is simply two ``Link`` objects.
 Optional per-packet *processors* run when a packet is offered to the link —
 this is how PDQ's in-switch rate controller observes and stamps packet
 headers without the core simulator knowing anything about PDQ.
+
+Hot-path notes
+--------------
+The serialization timeline per link is strictly sequential, so a busy link
+keeps exactly **one** outstanding wake-up: the in-flight packet is stored on
+the link and the wake-up callback takes no arguments, letting the engine's
+pooled :meth:`~repro.sim.engine.Simulator.post` path recycle a single heap
+entry per link instead of allocating an Event per packet.  Drop tracing
+hangs off the queue's ``drop_hook`` so the accept path never touches the
+tracer — the ``tracer is None`` check runs only when a packet actually
+drops (and is evaluated once, inside the hook).
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Protocol
 
 from repro.sim.packet import Packet
 from repro.sim.queues import QueueDiscipline
+from repro.sim.trace import CAT_DROP
 from repro.utils.units import transmission_delay
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -50,12 +62,17 @@ class Link:
         self.capacity_bps = check_positive("capacity_bps", capacity_bps)
         self.prop_delay = check_non_negative("prop_delay", prop_delay)
         self.queue = queue
+        queue.drop_hook = self._on_queue_drop
         self.busy = False
         #: False while the link is administratively/fault down.  Packets
         #: offered to a down link are lost (counted in ``down_drops``);
         #: the packet being serialized when the link dies is corrupted.
         self.up = True
         self.processors: List[LinkProcessor] = []
+        #: The packet currently on the wire (being serialized), if any.
+        self._in_flight: Optional[Packet] = None
+        # Bound-method caches: one attribute load per packet instead of two.
+        self._post = sim.post
         # Counters for utilization / loss accounting.
         self.bytes_sent: int = 0
         self.pkts_sent: int = 0
@@ -71,22 +88,19 @@ class Link:
         Returns ``False`` if the queue discipline dropped it.  Transmission
         starts immediately when the line is idle.
         """
-        for proc in self.processors:
-            proc.process(pkt, self)
+        if self.processors:
+            for proc in self.processors:
+                proc.process(pkt, self)
         if pkt.kind == 0:  # PacketKind.DATA — avoid enum lookup in hot path
             self.data_pkts_offered += 1
         if not self.up:
             self._drop_down(pkt)
             return False
-        accepted = self.queue.enqueue(pkt)
-        if accepted:
+        if self.queue.enqueue(pkt):
             if not self.busy:
                 self._transmit_next()
-        elif self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "drop", self.name,
-                                   flow=pkt.flow_id, seq=pkt.seq,
-                                   kind=int(pkt.kind))
-        return accepted
+            return True
+        return False
 
     def _transmit_next(self) -> None:
         if not self.up:
@@ -97,11 +111,14 @@ class Link:
             self.busy = False
             return
         self.busy = True
+        self._in_flight = pkt
         tx_delay = transmission_delay(pkt.size, self.capacity_bps)
         self.busy_time += tx_delay
-        self.sim.schedule(tx_delay, self._transmission_done, pkt)
+        self._post(tx_delay, self._transmission_done)
 
-    def _transmission_done(self, pkt: Packet) -> None:
+    def _transmission_done(self) -> None:
+        pkt = self._in_flight
+        self._in_flight = None
         if not self.up:
             # The link died mid-serialization: the frame is corrupted.
             self.busy = False
@@ -110,8 +127,27 @@ class Link:
         self.bytes_sent += pkt.size
         self.pkts_sent += 1
         # Hand off to the wire; reception happens after propagation.
-        self.sim.schedule(self.prop_delay, self.dst.receive, pkt, self)
+        self._post(self.prop_delay, self.dst.receive, pkt, self)
         self._transmit_next()
+
+    # ------------------------------------------------------------------
+    # Drop instrumentation (cold paths)
+    # ------------------------------------------------------------------
+    def _on_queue_drop(self, pkt: Packet, reason: Optional[str] = None) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            if reason is None:
+                tracer.record(self.sim.now, CAT_DROP, self.name,
+                              flow=pkt.flow_id, seq=pkt.seq,
+                              kind=int(pkt.kind))
+            else:
+                tracer.record(self.sim.now, CAT_DROP, self.name,
+                              flow=pkt.flow_id, seq=pkt.seq,
+                              kind=int(pkt.kind), reason=reason)
+
+    def _drop_down(self, pkt: Packet) -> None:
+        self.down_drops += 1
+        self._on_queue_drop(pkt, reason="link-down")
 
     # ------------------------------------------------------------------
     # Fault transitions
@@ -138,13 +174,6 @@ class Link:
         self.up = True
         if not self.busy:
             self._transmit_next()
-
-    def _drop_down(self, pkt: Packet) -> None:
-        self.down_drops += 1
-        if self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "drop", self.name,
-                                   flow=pkt.flow_id, seq=pkt.seq,
-                                   kind=int(pkt.kind), reason="link-down")
 
     # ------------------------------------------------------------------
     def utilization(self, elapsed: Optional[float] = None) -> float:

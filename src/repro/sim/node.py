@@ -94,7 +94,7 @@ class Host(Node):
         """Transmit a locally generated packet toward ``pkt.dst``."""
         if pkt.dst == self.node_id:
             # Same-host flows never traverse the fabric; deliver immediately.
-            self.sim.schedule(0.0, self.receive, pkt, None)
+            self.sim.post(0.0, self.receive, pkt, None)
             return True
         return self.egress_for(pkt.dst).send(pkt)
 

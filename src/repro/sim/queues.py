@@ -20,10 +20,15 @@ switch port is agnostic to which is installed.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.sim.packet import Packet
 from repro.utils.validation import check_positive
+
+#: Signature of the per-drop callback a :class:`~repro.sim.link.Link`
+#: installs on its queue: ``hook(pkt, reason)`` with ``reason=None`` for a
+#: plain tail/priority rejection.
+DropHook = Callable[[Packet, Optional[str]], None]
 
 
 class QueueDiscipline:
@@ -32,6 +37,13 @@ class QueueDiscipline:
     Subclasses implement :meth:`enqueue` (returning ``False`` when the packet
     is dropped) and :meth:`dequeue`.  Drop and mark counters are maintained
     here so metrics collection is uniform.
+
+    ``drop_hook`` is the cold-path instrumentation seam: the owning link
+    installs a callback that emits the :data:`~repro.sim.trace.CAT_DROP`
+    trace record.  The hot accept path never checks the tracer — only an
+    actual drop pays the ``hook is not None`` test, and eviction-style
+    disciplines (pFabric) can tag the *victim* packet too, which the old
+    link-level instrumentation could not see.
     """
 
     def __init__(self) -> None:
@@ -39,6 +51,7 @@ class QueueDiscipline:
         self.drop_bytes: int = 0
         self.marks: int = 0
         self.enqueued_total: int = 0
+        self.drop_hook: Optional[DropHook] = None
 
     def enqueue(self, pkt: Packet) -> bool:
         raise NotImplementedError
@@ -53,9 +66,12 @@ class QueueDiscipline:
     def byte_depth(self) -> int:
         raise NotImplementedError
 
-    def _record_drop(self, pkt: Packet) -> bool:
+    def _record_drop(self, pkt: Packet, reason: Optional[str] = None) -> bool:
         self.drops += 1
         self.drop_bytes += pkt.size
+        hook = self.drop_hook
+        if hook is not None:
+            hook(pkt, reason)
         return False
 
     def _record_accept(self, pkt: Packet) -> bool:
@@ -77,7 +93,8 @@ class DropTailQueue(QueueDiscipline):
             return self._record_drop(pkt)
         self._q.append(pkt)
         self._bytes += pkt.size
-        return self._record_accept(pkt)
+        self.enqueued_total += 1
+        return True
 
     def dequeue(self) -> Optional[Packet]:
         if not self._q:
@@ -115,7 +132,8 @@ class REDQueue(DropTailQueue):
             self.marks += 1
         self._q.append(pkt)
         self._bytes += pkt.size
-        return self._record_accept(pkt)
+        self.enqueued_total += 1
+        return True
 
 
 class PriorityQueueBank(QueueDiscipline):
@@ -157,8 +175,13 @@ class PriorityQueueBank(QueueDiscipline):
         return idx
 
     def enqueue(self, pkt: Packet) -> bool:
-        cls = self._class_for(pkt)
-        q = self._queues[cls]
+        # Inlined _class_for: this is the per-packet path for every PASE run.
+        idx = pkt.queue_index
+        if idx < 0:
+            idx = 0
+        elif idx >= self.num_queues:
+            idx = self.num_queues - 1
+        q = self._queues[idx]
         occupancy = len(q) if self.per_queue_capacity else self._len
         if occupancy >= self.capacity_pkts:
             return self._record_drop(pkt)
@@ -168,7 +191,8 @@ class PriorityQueueBank(QueueDiscipline):
         q.append(pkt)
         self._len += 1
         self._bytes += pkt.size
-        return self._record_accept(pkt)
+        self.enqueued_total += 1
+        return True
 
     def dequeue(self) -> Optional[Packet]:
         if self._len == 0:
@@ -221,10 +245,11 @@ class PFabricQueue(QueueDiscipline):
                 return self._record_drop(pkt)
             del self._q[victim_idx]
             self._bytes -= victim.size
-            self._record_drop(victim)
+            self._record_drop(victim, reason="evicted")
         self._q.append(pkt)
         self._bytes += pkt.size
-        return self._record_accept(pkt)
+        self.enqueued_total += 1
+        return True
 
     def _worst_index(self) -> int:
         """Index of the stored packet with the largest priority value

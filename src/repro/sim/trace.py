@@ -6,17 +6,21 @@ queues, retransmission timeouts, PASE queue reassignments.  Tracing is
 opt-in — with no tracer attached the instrumentation is a single attribute
 check per event.
 
-Categories currently emitted by the library:
+Categories currently emitted by the library (use the ``CAT_*`` constants
+rather than re-typing the literals — emitters and queries then cannot
+drift apart):
 
-* ``"drop"``     — an egress queue rejected a packet (subject: link name;
-  detail ``reason="link-down"`` marks losses from an injected link outage),
-* ``"timeout"``  — a sender's RTO fired (subject: flow id),
-* ``"retransmit"`` — a data packet was retransmitted (subject: flow id),
-* ``"queue-change"`` — a PASE flow moved priority class (subject: flow id),
-* ``"fault"``    — the fault injector fired an event (subject: link name or
-  ``"control-plane"``; detail ``kind`` names the fault),
-* ``"fallback"`` — a PASE sender entered/left DCTCP fallback after losing
-  its arbitrators (subject: flow id; detail ``phase="enter"|"exit"``).
+* :data:`CAT_DROP`      — an egress queue rejected a packet (subject: link
+  name; detail ``reason="link-down"`` marks losses from an injected link
+  outage, ``reason="evicted"`` marks pFabric priority-eviction victims),
+* :data:`CAT_TIMEOUT`   — a sender's RTO fired (subject: flow id),
+* :data:`CAT_RETRANSMIT` — a data packet was retransmitted (subject: flow id),
+* :data:`CAT_QUEUE_CHANGE` — a PASE flow moved priority class (subject:
+  flow id),
+* :data:`CAT_FAULT`     — the fault injector fired an event (subject: link
+  name or ``"control-plane"``; detail ``kind`` names the fault),
+* :data:`CAT_FALLBACK`  — a PASE sender entered/left DCTCP fallback after
+  losing its arbitrators (subject: flow id; detail ``phase="enter"|"exit"``).
 
 User code can record its own categories through :meth:`Tracer.record`.
 """
@@ -24,10 +28,24 @@ User code can record its own categories through :meth:`Tracer.record`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+#: Canonical trace-category names.  Emitters (link, transports, PASE
+#: endhost, fault injector) and consumers (metrics, tests) share these so a
+#: renamed category is a one-line change instead of a scavenger hunt.
+CAT_DROP = "drop"
+CAT_TIMEOUT = "timeout"
+CAT_RETRANSMIT = "retransmit"
+CAT_QUEUE_CHANGE = "queue-change"
+CAT_FAULT = "fault"
+CAT_FALLBACK = "fallback"
+
+#: Every category the library itself emits, for whole-library filters.
+ALL_CATEGORIES = (CAT_DROP, CAT_TIMEOUT, CAT_RETRANSMIT, CAT_QUEUE_CHANGE,
+                  CAT_FAULT, CAT_FALLBACK)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One recorded occurrence."""
 
@@ -76,6 +94,14 @@ class Tracer:
 
     def count(self, category: str) -> int:
         return sum(1 for e in self.events if e.category == category)
+
+    def counts(self) -> Dict[str, int]:
+        """Per-category event tallies, e.g. ``{"drop": 12, "timeout": 3}``.
+        One pass over the buffer; categories with zero events are absent."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out
 
     def flow_timeline(self, flow_id: int) -> List[TraceEvent]:
         """All events about one flow, in time order."""

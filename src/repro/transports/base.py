@@ -31,6 +31,7 @@ from repro.sim.packet import (
     make_ack_packet,
     make_data_packet,
 )
+from repro.sim.trace import CAT_RETRANSMIT, CAT_TIMEOUT
 from repro.transports.flow import Flow
 from repro.utils.units import MSEC, USEC
 from repro.utils.validation import check_positive
@@ -247,7 +248,7 @@ class SenderAgent:
         if pkt.is_retransmit:
             self.flow.retransmissions += 1
             if self.sim.tracer is not None:
-                self.sim.tracer.record(self.sim.now, "retransmit",
+                self.sim.tracer.record(self.sim.now, CAT_RETRANSMIT,
                                        self.flow.flow_id, seq=seq)
         self.host.send(pkt)
         self._arm_rto()
@@ -349,7 +350,7 @@ class SenderAgent:
         self.flow.timeouts += 1
         self._rto_backoff = min(self._rto_backoff + 1, 6)
         if self.sim.tracer is not None:
-            self.sim.tracer.record(self.sim.now, "timeout", self.flow.flow_id,
+            self.sim.tracer.record(self.sim.now, CAT_TIMEOUT, self.flow.flow_id,
                                    cum_ack=self.cum_ack,
                                    inflight=len(self._inflight))
         self.handle_timeout()

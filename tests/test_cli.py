@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.harness.cli import build_parser, build_scenario, build_pase_config, main
+from repro.harness.cli import (build_parser, build_pase_config, main,
+                               scenario_kwargs)
+from repro.harness.scenarios import build_scenario
+
+
+def _scenario(args):
+    return build_scenario(args.scenario, **scenario_kwargs(args))
 
 
 class TestParser:
@@ -43,11 +49,11 @@ class TestScenarioBuilding:
     def test_each_scenario_constructs(self):
         for name in ("intra-rack", "intra-rack-deadlines", "all-to-all",
                      "left-right", "testbed"):
-            scenario = build_scenario(self._args(name, hosts=4))
+            scenario = _scenario(self._args(name, hosts=4))
             assert scenario.name
 
     def test_deadline_scenario_criterion(self):
-        scenario = build_scenario(self._args("intra-rack-deadlines", hosts=4))
+        scenario = _scenario(self._args("intra-rack-deadlines", hosts=4))
         assert scenario.criterion == "deadline"
         assert scenario.deadline_dist is not None
 
@@ -56,21 +62,21 @@ class TestPaseOverrides:
     def test_no_overrides_returns_none(self):
         args = build_parser().parse_args(
             ["--protocol", "pase", "--scenario", "intra-rack", "--load", "0.5"])
-        scenario = build_scenario(args)
+        scenario = _scenario(args)
         assert build_pase_config(args, scenario) is None
 
     def test_criterion_override(self):
         args = build_parser().parse_args(
             ["--protocol", "pase", "--scenario", "intra-rack",
              "--load", "0.5", "--criterion", "las"])
-        cfg = build_pase_config(args, build_scenario(args))
+        cfg = build_pase_config(args, _scenario(args))
         assert cfg.criterion == "las"
 
     def test_early_termination_flag(self):
         args = build_parser().parse_args(
             ["--protocol", "pase", "--scenario", "intra-rack-deadlines",
              "--load", "0.5", "--early-termination"])
-        cfg = build_pase_config(args, build_scenario(args))
+        cfg = build_pase_config(args, _scenario(args))
         assert cfg.early_termination
         assert cfg.criterion == "deadline"  # inherited from the scenario
 
@@ -78,7 +84,7 @@ class TestPaseOverrides:
         args = build_parser().parse_args(
             ["--protocol", "pase", "--scenario", "intra-rack",
              "--load", "0.5", "--num-queues", "4"])
-        cfg = build_pase_config(args, build_scenario(args))
+        cfg = build_pase_config(args, _scenario(args))
         assert cfg.num_queues == 4
 
 

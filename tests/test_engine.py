@@ -168,3 +168,123 @@ def test_determinism_same_schedule_same_order():
         return out
 
     assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# post() / post_at(): the pooled fire-and-forget fast path
+# ---------------------------------------------------------------------------
+
+def test_post_fires_like_schedule():
+    sim = Simulator()
+    fired = []
+    sim.post(0.2, fired.append, "b")
+    sim.post(0.1, fired.append, "a")
+    sim.post_at(0.3, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.events_processed == 3
+
+
+def test_post_returns_no_handle():
+    sim = Simulator()
+    assert sim.post(0.1, lambda: None) is None
+    assert sim.post_at(0.2, lambda: None) is None
+
+
+def test_post_rejects_past_times():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.post(-0.1, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.post_at(0.5, lambda: None)
+
+
+def test_post_and_schedule_share_tiebreak_order():
+    """Mixing the two APIs at one timestamp fires in call order — they draw
+    from the same sequence counter, so replacing schedule() with post() on
+    a hot path can never perturb determinism."""
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.5, fired.append, "s1")
+    sim.post(0.5, fired.append, "p1")
+    sim.schedule(0.5, fired.append, "s2")
+    sim.post(0.5, fired.append, "p2")
+    sim.run()
+    assert fired == ["s1", "p1", "s2", "p2"]
+
+
+def test_post_entries_are_recycled():
+    """Fired post() entries return to the free list and are reused, so a
+    long chain keeps the heap at depth 1 with no entry churn."""
+    sim = Simulator()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 100:
+            sim.post(0.01, tick)
+
+    sim.post(0.0, tick)
+    sim.run()
+    assert count[0] == 100
+    # Two entries ping-pong through the free list (the in-flight entry is
+    # only recycled after its callback returns), regardless of chain length.
+    assert len(sim._free) == 2
+    assert sim.pending_events == 0
+
+
+def test_stale_cancel_after_fire_cannot_kill_recycled_entry():
+    """schedule() entries are never pooled: cancelling a handle after its
+    event fired must not affect any later event (the lazy-cancel trap a
+    shared free list would create)."""
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.1, fired.append, "first")
+    sim.run()
+    assert fired == ["first"]
+    # Recycle-heavy traffic after the fire...
+    for _ in range(5):
+        sim.post(0.1, fired.append, "posted")
+    # ...then a stale cancel on the already-fired handle.
+    handle.cancel()
+    sim.run()
+    assert fired == ["first"] + ["posted"] * 5
+
+
+def test_event_handle_reports_cancelled_state():
+    sim = Simulator()
+    event = sim.schedule(0.1, lambda: None)
+    assert not event.cancelled
+    event.cancel()
+    assert event.cancelled
+    event.cancel()  # idempotent
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_until_with_post_only_heap():
+    sim = Simulator()
+    fired = []
+    sim.post(0.1, fired.append, "early")
+    sim.post(5.0, fired.append, "late")
+    sim.run(until=1.0)
+    assert fired == ["early"]
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_max_events_counts_fired_not_cancelled():
+    sim = Simulator()
+    fired = []
+    keep1 = sim.schedule(0.1, fired.append, 1)
+    drop = sim.schedule(0.2, fired.append, 2)
+    sim.schedule(0.3, fired.append, 3)
+    sim.schedule(0.4, fired.append, 4)
+    drop.cancel()
+    processed = sim.run(max_events=2)
+    assert processed == 2
+    assert fired == [1, 3]
+    assert keep1.time == 0.1

@@ -12,7 +12,7 @@ from repro.core import (
     PaseSender,
     pase_queue_factory,
 )
-from repro.harness import all_to_all_intra_rack, intra_rack, run_experiment
+from repro.harness import ExperimentSpec, all_to_all_intra_rack, intra_rack, run_experiment
 from repro.sim import Simulator, StarTopology
 from repro.transports import Flow
 from repro.utils.units import GBPS, KB, MB, MSEC, USEC
@@ -169,19 +169,19 @@ class TestEarlyTermination:
         fraction cannot be lower than without it."""
         scn = lambda: intra_rack(num_hosts=10, with_deadlines=True)
         base = PaseConfig(criterion="deadline")
-        on = run_experiment("pase", scn(), 0.9, num_flows=80, seed=2,
+        on = run_experiment(ExperimentSpec("pase", scn(), 0.9, num_flows=80, seed=2,
                             pase_config=PaseConfig(criterion="deadline",
-                                                   early_termination=True))
-        off = run_experiment("pase", scn(), 0.9, num_flows=80, seed=2,
-                             pase_config=base)
+                                                   early_termination=True)))
+        off = run_experiment(ExperimentSpec("pase", scn(), 0.9, num_flows=80, seed=2,
+                             pase_config=base))
         assert on.application_throughput >= off.application_throughput - 0.05
         assert any(f.terminated for f in on.flows)
 
     def test_harness_counts_terminated_flows(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec(
             "pase", intra_rack(num_hosts=8, with_deadlines=True), 0.9,
             num_flows=40, seed=2,
-            pase_config=PaseConfig(criterion="deadline", early_termination=True))
+            pase_config=PaseConfig(criterion="deadline", early_termination=True)))
         # The run ends promptly (no horizon stall): every foreground flow
         # either completed or terminated.
         fg = [f for f in result.flows if not f.background]

@@ -27,7 +27,7 @@ from repro.faults import (
     GilbertElliottLoss,
     LinkDown,
 )
-from repro.harness.experiment import run_experiment
+from repro.harness.experiment import ExperimentSpec, run_experiment
 from repro.harness.scenarios import build_scenario
 from repro.sim import Simulator, StarTopology
 from repro.sim.queues import REDQueue
@@ -227,12 +227,12 @@ class TestPaseDegradation:
         """Whole control plane crashes mid-run and recovers: every flow
         still completes, fallback episodes and recovery latencies are
         recorded, and the FCT penalty is bounded."""
-        clean = run_experiment(
+        clean = run_experiment(ExperimentSpec(
             "pase", build_scenario("intra-rack", num_hosts=8),
-            0.5, num_flows=30, seed=3)
-        crash = run_experiment(
+            0.5, num_flows=30, seed=3))
+        crash = run_experiment(ExperimentSpec(
             "pase", build_scenario("intra-rack-arb-crash", **self.CRASH_KW),
-            0.5, num_flows=30, seed=3)
+            0.5, num_flows=30, seed=3))
         assert clean.faults is None
         assert crash.stats.completion_fraction == 1.0
         faults = crash.faults
@@ -249,7 +249,7 @@ class TestPaseDegradation:
     def test_unrecovered_crash_still_completes_via_fallback(self):
         scenario = build_scenario("intra-rack-arb-crash", num_hosts=8,
                                   crash_at=3 * MSEC, crash_duration=None)
-        result = run_experiment("pase", scenario, 0.5, num_flows=25, seed=3)
+        result = run_experiment(ExperimentSpec("pase", scenario, 0.5, num_flows=25, seed=3))
         assert result.stats.completion_fraction == 1.0
         assert result.faults.fallback_episodes > 0
         # Nobody recovered — the crash was permanent.
@@ -279,21 +279,21 @@ class TestPaseDegradation:
         assert flows[1].fallback_episodes == 0  # untouched
 
     def test_link_flap_scenario(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec(
             "pase",
             build_scenario("intra-rack-link-flap", num_hosts=8,
                            down_at=2 * MSEC, outage=3 * MSEC),
-            0.4, num_flows=20, seed=2)
+            0.4, num_flows=20, seed=2))
         assert result.stats.completion_fraction == 1.0
         assert result.faults.link_down_drops > 0
         assert result.faults.injected == {"link-down": 1, "link-up": 1}
 
     def test_control_message_loss_on_tree(self):
-        result = run_experiment(
+        result = run_experiment(ExperimentSpec(
             "pase",
             build_scenario("left-right-lossy-control", hosts_per_rack=8,
                            loss_rate=0.5),
-            0.4, num_flows=25, seed=2)
+            0.4, num_flows=25, seed=2))
         assert result.stats.completion_fraction == 1.0
         assert result.faults.control_messages_lost > 0
         assert result.control_plane.messages_lost > 0
@@ -331,11 +331,11 @@ class TestPaseDegradation:
 # ----------------------------------------------------------------------
 class TestDeterminism:
     def _crash_run(self):
-        return run_experiment(
+        return run_experiment(ExperimentSpec(
             "pase",
             build_scenario("intra-rack-arb-crash", num_hosts=8,
                            crash_at=3 * MSEC, crash_duration=15 * MSEC),
-            0.5, num_flows=25, seed=4)
+            0.5, num_flows=25, seed=4))
 
     def test_same_schedule_and_seed_replays_identically(self):
         a, b = self._crash_run(), self._crash_run()
@@ -347,9 +347,9 @@ class TestDeterminism:
         """No schedule → no injector, fallible stays off, and repeated
         clean runs are event-for-event identical."""
         scenario = build_scenario("intra-rack", num_hosts=8)
-        a = run_experiment("pase", scenario, 0.5, num_flows=25, seed=4)
-        b = run_experiment("pase", build_scenario("intra-rack", num_hosts=8),
-                           0.5, num_flows=25, seed=4)
+        a = run_experiment(ExperimentSpec("pase", scenario, 0.5, num_flows=25, seed=4))
+        b = run_experiment(ExperimentSpec("pase", build_scenario("intra-rack", num_hosts=8),
+                           0.5, num_flows=25, seed=4))
         assert a.faults is None and b.faults is None
         assert a.events == b.events
         assert [f.fct for f in a.flows] == [f.fct for f in b.flows]
@@ -358,10 +358,10 @@ class TestDeterminism:
 
     def test_empty_schedule_is_a_no_op(self):
         scenario = build_scenario("intra-rack", num_hosts=8)
-        clean = run_experiment("pase", scenario, 0.5, num_flows=25, seed=4)
-        empty = run_experiment("pase", build_scenario("intra-rack", num_hosts=8),
+        clean = run_experiment(ExperimentSpec("pase", scenario, 0.5, num_flows=25, seed=4))
+        empty = run_experiment(ExperimentSpec("pase", build_scenario("intra-rack", num_hosts=8),
                                0.5, num_flows=25, seed=4,
-                               fault_schedule=FaultSchedule())
+                               fault_schedule=FaultSchedule()))
         assert empty.faults is None
         assert clean.events == empty.events
         assert [f.fct for f in clean.flows] == [f.fct for f in empty.flows]

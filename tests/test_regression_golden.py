@@ -11,6 +11,7 @@ them; order-of-magnitude regressions do.
 import pytest
 
 from repro.harness import (
+    ExperimentSpec,
     all_to_all_intra_rack,
     intra_rack,
     left_right,
@@ -54,22 +55,22 @@ class TestSingleFlowFloors:
 
 class TestScenarioBands:
     def test_pase_left_right_70(self):
-        r = run_experiment("pase", left_right(), 0.7, num_flows=150, seed=SEED)
+        r = run_experiment(ExperimentSpec("pase", left_right(), 0.7, num_flows=150, seed=SEED))
         assert 1.0 < r.afct * 1e3 < 3.5
         assert r.loss_rate < 0.005
         assert r.stats.completion_fraction == 1.0
 
     def test_dctcp_left_right_70(self):
-        r = run_experiment("dctcp", left_right(), 0.7, num_flows=150, seed=SEED)
+        r = run_experiment(ExperimentSpec("dctcp", left_right(), 0.7, num_flows=150, seed=SEED))
         assert 1.8 < r.afct * 1e3 < 5.5
 
     def test_pfabric_incast_loss_band(self):
-        r = run_experiment("pfabric", all_to_all_intra_rack(num_hosts=20, fanin=16),
-                           0.8, num_flows=200, seed=SEED)
+        r = run_experiment(ExperimentSpec("pfabric", all_to_all_intra_rack(num_hosts=20, fanin=16),
+                           0.8, num_flows=200, seed=SEED))
         assert 0.08 < r.loss_rate < 0.35
 
     def test_pase_control_overhead_band(self):
-        r = run_experiment("pase", left_right(), 0.7, num_flows=150, seed=SEED)
+        r = run_experiment(ExperimentSpec("pase", left_right(), 0.7, num_flows=150, seed=SEED))
         cp = r.control_plane
         # Messages per flow: a handful of consultations per interval over a
         # few-ms lifetime; runaway chatter or dead arbitration both fail.
@@ -77,15 +78,59 @@ class TestScenarioBands:
         assert 3 < per_flow < 300
 
     def test_deadline_scenario_band(self):
-        r = run_experiment("pase", intra_rack(num_hosts=20, with_deadlines=True),
-                           0.7, num_flows=150, seed=SEED)
+        r = run_experiment(ExperimentSpec("pase", intra_rack(num_hosts=20, with_deadlines=True),
+                           0.7, num_flows=150, seed=SEED))
         assert 0.7 < r.application_throughput <= 1.0
 
     def test_event_count_stability(self):
         """Event count is a deterministic fingerprint of the whole run."""
-        a = run_experiment("pase", intra_rack(num_hosts=8), 0.5,
-                           num_flows=40, seed=SEED)
-        b = run_experiment("pase", intra_rack(num_hosts=8), 0.5,
-                           num_flows=40, seed=SEED)
+        a = run_experiment(ExperimentSpec("pase", intra_rack(num_hosts=8), 0.5,
+                           num_flows=40, seed=SEED))
+        b = run_experiment(ExperimentSpec("pase", intra_rack(num_hosts=8), 0.5,
+                           num_flows=40, seed=SEED))
         assert a.events == b.events
         assert a.afct == b.afct
+
+
+def _fingerprint(result) -> str:
+    """sha256 over every flow's (id, start, completion, size, pkts_sent):
+    any change to scheduling order, timing arithmetic, or retransmission
+    behavior shifts at least one completion time and flips the digest."""
+    import hashlib
+
+    lines = []
+    for f in sorted(result.flows, key=lambda f: f.flow_id):
+        lines.append(f"{f.flow_id}:{f.start_time!r}:{f.completion_time!r}"
+                     f":{f.size_bytes}:{f.pkts_sent}\n")
+    return hashlib.sha256("".join(lines).encode()).hexdigest()
+
+
+class TestByteIdenticalGoldens:
+    """Exact pinned fingerprints, captured before the event-engine fast
+    path landed (list heap entries, pooled ``post()``, batched link
+    serialization).  These prove the optimizations are *byte-identical*:
+    same seeds → same event count → same per-flow FCTs, to the last bit.
+    An intentional semantic change to the simulator must re-pin these.
+    """
+
+    def test_pase_intra_rack_golden(self):
+        r = run_experiment(ExperimentSpec(
+            "pase", intra_rack(num_hosts=8), 0.5, num_flows=40, seed=42))
+        assert r.events == 80663
+        assert _fingerprint(r) == ("f78233a1e5f7e1f8297349a24ff0077d"
+                                   "3cf92c4a1d45cd3295161e0fa36e4dca")
+
+    def test_dctcp_intra_rack_golden(self):
+        r = run_experiment(ExperimentSpec(
+            "dctcp", intra_rack(num_hosts=8), 0.6, num_flows=40, seed=7))
+        assert r.events == 91645
+        assert _fingerprint(r) == ("2ac54cbb0aa53700e9dfefb00356ee15"
+                                   "394c00d7382bd3aef8544622a66db7d0")
+
+    def test_pfabric_left_right_golden(self):
+        r = run_experiment(ExperimentSpec(
+            "pfabric", left_right(hosts_per_rack=4), 0.7,
+            num_flows=60, seed=3))
+        assert r.events == 168191
+        assert _fingerprint(r) == ("d9d1441d4de48168288cbd7f07a9e9c5"
+                                   "52e30902aa24ccca497d75682fb1d8d1")

@@ -14,7 +14,7 @@ from dataclasses import replace
 
 import pytest
 
-from repro.harness import intra_rack, run_experiment, sweep_loads
+from repro.harness import ExperimentSpec, intra_rack, run_experiment, sweep_loads
 from repro.harness.experiment import ExperimentResult
 from repro.harness.replication import replicate
 from repro.runner import (
@@ -186,8 +186,8 @@ class TestParity:
     def test_serial_runner_matches_direct_run(self):
         outcome = run_sweep([tiny_descriptor(load=0.4)],
                             RunnerConfig(jobs=1, use_cache=False))
-        direct = run_experiment("dctcp", intra_rack(num_hosts=5), 0.4,
-                                num_flows=12, seed=1)
+        direct = run_experiment(ExperimentSpec("dctcp", intra_rack(num_hosts=5), 0.4,
+                                num_flows=12, seed=1))
         got = outcome.records[0].result
         # wallclock is machine timing, never deterministic; everything else
         # must be byte-identical.
@@ -220,8 +220,8 @@ class TestParity:
 
 class TestDetach:
     def test_detach_strips_foreign_flow_attributes(self):
-        result = run_experiment("dctcp", intra_rack(num_hosts=5), 0.3,
-                                num_flows=12, seed=1)
+        result = run_experiment(ExperimentSpec("dctcp", intra_rack(num_hosts=5), 0.3,
+                                num_flows=12, seed=1))
         # Simulate a transport stashing a simulator back-reference.
         result.flows[0].agent = object()
         detached = result.detach()
@@ -230,8 +230,8 @@ class TestDetach:
         assert detached.flows[0].fct == result.flows[0].fct
 
     def test_experiment_result_round_trips_pickle(self):
-        result = run_experiment("pase", intra_rack(num_hosts=5), 0.3,
-                                num_flows=12, seed=1)
+        result = run_experiment(ExperimentSpec("pase", intra_rack(num_hosts=5), 0.3,
+                                num_flows=12, seed=1))
         clone = pickle.loads(pickle.dumps(result.detach()))
         assert isinstance(clone, ExperimentResult)
         assert clone.afct == result.afct
