@@ -1,17 +1,20 @@
 """Performance microbenchmark suite for the simulation core.
 
-Three layers, each isolating one slice of the stack:
+Four layers, each isolating one slice of the stack:
 
 * :mod:`benchmarks.perf.bench_engine` — the bare event loop
   (events/second, no network machinery at all),
+* :mod:`benchmarks.perf.bench_arbitration` — the PASE control plane
+  (arbitrations/second on one link arbitrator at 10²–10⁴ flows, plus a
+  control-plane-heavy full-stack point),
 * :mod:`benchmarks.perf.bench_switch` — the fabric datapath
   (packets/second through a loaded switch, no transports),
 * :mod:`benchmarks.perf.bench_sweep` — a canonical ``left-right`` PASE
   sweep through :mod:`repro.runner` (wall-clock, full stack, with the
   runner's JSONL ledger).
 
-``python -m benchmarks.perf`` runs all three and writes ``BENCH_sim.json``
-at the repository root; see EXPERIMENTS.md for the schema.
+``python -m benchmarks.perf`` runs all four and writes ``BENCH_sim.json``
+at the repository root; see EXPERIMENTS.md for the schema (bench_sim/v2).
 """
 
 from __future__ import annotations
@@ -43,4 +46,17 @@ def timed(fn: Callable[[], int]) -> float:
 BASELINE_EVENTS_PER_SEC: Dict[str, float] = {
     "spin": 425_380.0,
     "churn": 224_787.0,
+}
+
+#: Pre-fast-path control-plane throughput, measured on the
+#: :mod:`benchmarks.perf.bench_arbitration` workloads at the PR 4 commit
+#: (O(F log F) sort-per-``_decide``, count-returning ``expire``), same
+#: machine discipline as the engine baselines.  Keys match the metric names
+#: in the arbitration results block minus the rate suffix.
+BASELINE_ARBITRATIONS_PER_SEC: Dict[str, float] = {
+    "churn_100": 47_235.0,
+    "churn_1000": 7_409.0,
+    "churn_10000": 783.0,
+    "parked_1000": 8_249.0,
+    "aggregate_top1_1000": 6_408.0,
 }

@@ -21,8 +21,9 @@ import platform
 import sys
 from pathlib import Path
 
-from benchmarks.perf import BASELINE_EVENTS_PER_SEC, bench_engine
-from benchmarks.perf import bench_sweep, bench_switch
+from benchmarks.perf import (BASELINE_ARBITRATIONS_PER_SEC,
+                             BASELINE_EVENTS_PER_SEC, bench_arbitration,
+                             bench_engine, bench_sweep, bench_switch)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 FLOOR_PATH = Path(__file__).resolve().parent / "floor.json"
@@ -32,6 +33,7 @@ ALLOWED_REGRESSION = 0.30
 
 def build_report(scale: str) -> dict:
     engine = bench_engine.run(scale=scale)
+    arbitration = bench_arbitration.run(scale=scale)
     switch = bench_switch.run(scale=scale)
     sweep = bench_sweep.run(scale=scale)
     speedup = {
@@ -40,41 +42,56 @@ def build_report(scale: str) -> dict:
         "churn": engine["churn_post_events_per_sec"]
                  / BASELINE_EVENTS_PER_SEC["churn"],
     }
+    arb_speedup = {
+        key: arbitration[f"{key}_arbitrations_per_sec"] / base
+        if f"{key}_arbitrations_per_sec" in arbitration
+        else arbitration[f"{key}_calls_per_sec"] / base
+        for key, base in BASELINE_ARBITRATIONS_PER_SEC.items()
+    }
     return {
-        "schema": "bench_sim/v1",
+        "schema": "bench_sim/v2",
         "suite": "benchmarks/perf",
         "scale": scale,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "baseline": {
             "engine_events_per_sec": dict(BASELINE_EVENTS_PER_SEC),
-            "note": "pre-optimization engine, schedule() API, same "
-                    "spin/churn workloads (seed commit)",
+            "arbitrations_per_sec": dict(BASELINE_ARBITRATIONS_PER_SEC),
+            "note": "engine: pre-optimization engine at the seed commit; "
+                    "arbitration: O(F log F) sort-per-decide arbitrator at "
+                    "the PR 4 commit, same workloads",
         },
         "results": {
             "engine": engine,
+            "arbitration": arbitration,
             "switch": switch,
             "sweep": sweep,
         },
         "speedup_vs_baseline": speedup,
+        "arbitration_speedup_vs_baseline": arb_speedup,
     }
 
 
 def check_floor(report: dict) -> list:
-    """Compare engine numbers against the checked-in floor; return a list
-    of human-readable violations (empty = pass)."""
+    """Compare measured rates against the checked-in floors; return a list
+    of human-readable violations (empty = pass).  Every top-level section
+    of floor.json maps onto the same-named results block."""
     floor = json.loads(FLOOR_PATH.read_text())
     failures = []
-    for metric, floor_value in floor["engine"].items():
-        measured = report["results"]["engine"].get(metric)
-        threshold = floor_value * (1.0 - ALLOWED_REGRESSION)
-        if measured is None:
-            failures.append(f"{metric}: missing from report")
-        elif measured < threshold:
-            failures.append(
-                f"{metric}: {measured:,.0f} events/sec is below "
-                f"{threshold:,.0f} (floor {floor_value:,.0f} - "
-                f"{ALLOWED_REGRESSION:.0%})")
+    for section, metrics in floor.items():
+        if not isinstance(metrics, dict):
+            continue  # prose keys ("note")
+        results = report["results"].get(section, {})
+        for metric, floor_value in metrics.items():
+            measured = results.get(metric)
+            threshold = floor_value * (1.0 - ALLOWED_REGRESSION)
+            if measured is None:
+                failures.append(f"{section}.{metric}: missing from report")
+            elif measured < threshold:
+                failures.append(
+                    f"{section}.{metric}: {measured:,.0f}/sec is below "
+                    f"{threshold:,.0f} (floor {floor_value:,.0f} - "
+                    f"{ALLOWED_REGRESSION:.0%})")
     return failures
 
 
@@ -97,6 +114,14 @@ def main(argv=None) -> int:
     print(f"engine  churn(post):     {engine['churn_post_events_per_sec']:>12,.0f} events/sec "
           f"({report['speedup_vs_baseline']['churn']:.2f}x baseline)")
     print(f"engine  churn(schedule): {engine['churn_schedule_events_per_sec']:>12,.0f} events/sec")
+    arb = report["results"]["arbitration"]
+    arb_speed = report["arbitration_speedup_vs_baseline"]
+    for n in (100, 1_000, 10_000):
+        print(f"arb     churn F={n:<6}   "
+              f"{arb[f'churn_{n}_arbitrations_per_sec']:>12,.0f} arbitrations/sec "
+              f"({arb_speed[f'churn_{n}']:.1f}x baseline)")
+    print(f"arb     epoch F=1000:    "
+          f"{arb['epoch_1000_decisions_per_sec']:>12,.0f} decisions/sec")
     switch = report["results"]["switch"]
     print(f"switch  incast:          {switch['incast_packets_per_sec']:>12,.0f} packets/sec")
     sweep = report["results"]["sweep"]

@@ -14,19 +14,45 @@ a given flow, computes:
   (capped by the flow's demand) when the flow makes the top queue, otherwise
   the base rate (one packet per RTT) so low-priority flows can still probe.
 
+Fast-path design
+----------------
+The table is kept **sorted** by ``(criterion_value, flow_id)`` in three
+parallel lists (keys, demands, cached prefix demand), maintained by
+``bisect`` on insert/update/remove.  ADH for the flow at sorted position
+``i`` is then just ``prefix[i]``, so one :meth:`_decide` is an O(log F)
+lookup instead of the historical O(F) scan — and a full ``arbitrate()``
+(update + decide) costs one memmove plus at most a C-speed
+``itertools.accumulate`` over the invalidated prefix suffix.
+
+Prefix invalidation is *positional*: a mutation at sorted position ``p``
+only discards ``prefix[p+1:]`` (the watermark ``_valid``), so interleaved
+update/decide traffic — the control plane's actual access pattern — re-sums
+only the slice between the lowest dirty position and the queried index.
+The summation order is always left-to-right over the sorted order, so
+repeated partial extensions are bit-identical to one full rebuild.
+
+:meth:`decide_all` is the epoch-batch API: one sorted pass yields every
+registered flow's ``(PrioQue, Rref)`` and memoizes the table until the next
+mutation (or capacity change), so unchanged epochs are served from cache.
+:meth:`aggregate_demand` reads the same cached prefix sums.
+
 :class:`VirtualLinkArbitrator` is the same machine over a mutable capacity —
 the delegated slice of a parent (aggregation–core) link (§3.1.2).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from itertools import accumulate, islice
+from typing import Dict, List, Optional, Tuple
 
 from repro.utils.validation import check_non_negative, check_positive
 
+_INF = float("inf")
 
-@dataclass
+
+@dataclass(slots=True)
 class ArbitratedFlow:
     """A flow's entry in one link arbitrator's table."""
 
@@ -42,7 +68,7 @@ class ArbitratedFlow:
         return (self.criterion_value, self.flow_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class ArbitrationResult:
     """The (PrioQue, Rref) pair returned to a source."""
 
@@ -68,6 +94,21 @@ class LinkArbitrator:
     not make the top queue.
     """
 
+    __slots__ = (
+        "name",
+        "capacity_bps",
+        "num_queues",
+        "base_rate_bps",
+        "flows",
+        "requests_served",
+        "_keys",
+        "_demands",
+        "_prefix",
+        "_valid",
+        "_decisions",
+        "_min_update",
+    )
+
     def __init__(
         self,
         name: str,
@@ -82,6 +123,21 @@ class LinkArbitrator:
         self.flows: Dict[int, ArbitratedFlow] = {}
         #: Number of arbitrate() calls served (processing-load metric).
         self.requests_served = 0
+        # -- sorted-table fast path ------------------------------------
+        #: Sort keys ``(criterion_value, flow_id)``, ascending.
+        self._keys: List[Tuple[float, int]] = []
+        #: Demands in the same sorted order (C-speed accumulate fodder).
+        self._demands: List[float] = []
+        #: ``_prefix[i]`` = demand of the first ``i`` sorted flows (ADH of
+        #: position ``i``); only ``_prefix[: _valid + 1]`` is trustworthy.
+        self._prefix: List[float] = [0.0]
+        self._valid = 0
+        #: Memoized epoch decision table from :meth:`decide_all`; ``None``
+        #: whenever the table (or the capacity) changed since it was built.
+        self._decisions: Optional[Dict[int, ArbitrationResult]] = None
+        #: Lower bound on ``min(entry.last_update)`` — lets :meth:`expire`
+        #: skip the scan outright while every entry is provably fresh.
+        self._min_update = _INF
 
     # ------------------------------------------------------------------
     @property
@@ -89,6 +145,44 @@ class LinkArbitrator:
         """Capacity used for queue/rate computation; virtual links override."""
         return self.capacity_bps
 
+    # ------------------------------------------------------------------
+    # Sorted-table maintenance
+    # ------------------------------------------------------------------
+    def _insert_entry(self, key: Tuple[float, int], demand: float) -> None:
+        i = bisect_left(self._keys, key)
+        self._keys.insert(i, key)
+        self._demands.insert(i, demand)
+        if i < self._valid:
+            del self._prefix[i + 1:]
+            self._valid = i
+        self._decisions = None
+
+    def _remove_entry(self, key: Tuple[float, int]) -> None:
+        i = bisect_left(self._keys, key)
+        del self._keys[i]
+        del self._demands[i]
+        if i < self._valid:
+            del self._prefix[i + 1:]
+            self._valid = i
+        elif self._valid > len(self._keys):
+            del self._prefix[len(self._keys) + 1:]
+            self._valid = len(self._keys)
+        self._decisions = None
+
+    def _adh_before(self, index: int) -> float:
+        """Aggregate demand of the first ``index`` sorted flows, extending
+        the cached prefix (left-to-right, so partial extensions are
+        bit-identical to a full rebuild) when the watermark is short."""
+        if index > self._valid:
+            prefix = self._prefix
+            it = accumulate(islice(self._demands, self._valid, index),
+                            initial=prefix[-1])
+            next(it)  # the initial element is already the last cached value
+            prefix.extend(it)
+            self._valid = index
+        return self._prefix[index]
+
+    # ------------------------------------------------------------------
     def arbitrate(
         self,
         flow_id: int,
@@ -102,21 +196,35 @@ class LinkArbitrator:
         self.requests_served += 1
         entry = self.flows.get(flow_id)
         if entry is None:
-            self.flows[flow_id] = ArbitratedFlow(flow_id, criterion_value, demand, now)
+            self.flows[flow_id] = ArbitratedFlow(
+                flow_id, criterion_value, demand, now)
+            self._insert_entry((criterion_value, flow_id), demand)
+            if now < self._min_update:
+                self._min_update = now
         else:
-            entry.criterion_value = criterion_value
-            entry.demand = demand
+            if (entry.criterion_value != criterion_value
+                    or entry.demand != demand):
+                self._remove_entry((entry.criterion_value, flow_id))
+                entry.criterion_value = criterion_value
+                entry.demand = demand
+                self._insert_entry((criterion_value, flow_id), demand)
             entry.last_update = now
         return self._decide(flow_id)
 
     def _decide(self, flow_id: int) -> ArbitrationResult:
-        """Step 2 of Algorithm 1: ADH -> (PrioQue, Rref)."""
+        """Step 2 of Algorithm 1: ADH -> (PrioQue, Rref).
+
+        Served from the memoized epoch table when one is live, otherwise an
+        O(log F) bisect into the sorted table plus a cached-prefix read.
+        """
+        decisions = self._decisions
+        if decisions is not None:
+            cached = decisions.get(flow_id)
+            if cached is not None:
+                return cached
         me = self.flows[flow_id]
-        my_key = me.sort_key()
-        adh = 0.0
-        for other in self.flows.values():
-            if other.flow_id != flow_id and other.sort_key() < my_key:
-                adh += other.demand
+        idx = bisect_left(self._keys, (me.criterion_value, flow_id))
+        adh = self._adh_before(idx)
         capacity = self.capacity
         if adh < capacity:
             rate = min(me.demand, capacity - adh)
@@ -126,20 +234,78 @@ class LinkArbitrator:
             queue = min(int(adh // capacity), self.num_queues - 1)
         return ArbitrationResult(queue=queue, reference_rate=rate)
 
+    def decide_all(self) -> Dict[int, ArbitrationResult]:
+        """Epoch-batch API: every registered flow's (PrioQue, Rref) in one
+        sorted pass over the cached prefix sums.
+
+        The result is memoized and returned as-is until the table mutates
+        (insert/update/remove/expire) or the capacity changes, so callers
+        that poll an unchanged epoch pay a dict lookup, not a recompute.
+        The returned mapping is shared — treat it as read-only.
+        """
+        decisions = self._decisions
+        if decisions is not None:
+            return decisions
+        n = len(self._keys)
+        self._adh_before(n)
+        prefix = self._prefix
+        demands = self._demands
+        capacity = self.capacity
+        lowest = self.num_queues - 1
+        base = self.base_rate_bps
+        decisions = {}
+        for i, (_, fid) in enumerate(self._keys):
+            adh = prefix[i]
+            if adh < capacity:
+                decisions[fid] = ArbitrationResult(
+                    0, min(demands[i], capacity - adh))
+            else:
+                decisions[fid] = ArbitrationResult(
+                    min(int(adh // capacity), lowest), base)
+        self._decisions = decisions
+        return decisions
+
     # ------------------------------------------------------------------
     def remove(self, flow_id: int) -> None:
         """Explicit removal when the source reports completion."""
-        self.flows.pop(flow_id, None)
+        entry = self.flows.pop(flow_id, None)
+        if entry is not None:
+            self._remove_entry((entry.criterion_value, flow_id))
+            if not self.flows:
+                self._min_update = _INF
 
-    def expire(self, now: float, timeout: float) -> int:
-        """Drop entries not refreshed within ``timeout``; returns the count.
+    def clear(self) -> None:
+        """Drop every entry (an arbitrator crash wipes its soft state)."""
+        self.flows.clear()
+        self._keys.clear()
+        self._demands.clear()
+        self._prefix = [0.0]
+        self._valid = 0
+        self._decisions = None
+        self._min_update = _INF
+
+    def expire(self, now: float, timeout: float) -> List[int]:
+        """Drop entries not refreshed within ``timeout``; returns the
+        removed flow ids so the control plane can notify their sources.
 
         The safety net for sources that died without a completion message.
+        When every entry is provably fresh (the cached minimum last-update
+        is within ``timeout``) the scan is skipped entirely.
         """
-        stale = [fid for fid, e in self.flows.items() if now - e.last_update > timeout]
+        if not self.flows or now - self._min_update <= timeout:
+            return []
+        stale: List[int] = []
+        oldest = _INF
+        for fid, entry in self.flows.items():
+            if now - entry.last_update > timeout:
+                stale.append(fid)
+            elif entry.last_update < oldest:
+                oldest = entry.last_update
         for fid in stale:
-            del self.flows[fid]
-        return len(stale)
+            entry = self.flows.pop(fid)
+            self._remove_entry((entry.criterion_value, fid))
+        self._min_update = oldest
+        return stale
 
     @property
     def active_flows(self) -> int:
@@ -148,18 +314,21 @@ class LinkArbitrator:
     def aggregate_demand(self, top_queues: Optional[int] = None) -> float:
         """Total demand registered at this link; with ``top_queues`` given,
         only flows currently mapping within those classes count.  Used by
-        delegation's child demand reports."""
+        delegation's child demand reports.  Both forms read the cached
+        prefix sums; ties on the criterion resolve by flow id (the table's
+        total order), so the answer is deterministic."""
+        n = len(self._keys)
+        total = self._adh_before(n)
         if top_queues is None:
-            return sum(e.demand for e in self.flows.values())
+            return total
         limit = top_queues * self.capacity
-        total = 0.0
-        adh = 0.0
-        for entry in sorted(self.flows.values(), key=ArbitratedFlow.sort_key):
-            if adh >= limit:
-                break
-            total += entry.demand
-            adh += entry.demand
-        return total
+        # First sorted position whose ADH reaches the class boundary: all
+        # demand before it maps within the top classes (plus the crossing
+        # flow itself, matching the historical cumulative scan).
+        i = bisect_left(self._prefix, limit)
+        if i > n:
+            i = n
+        return self._prefix[i]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LinkArbitrator({self.name}, {self.active_flows} flows)"
@@ -172,6 +341,8 @@ class VirtualLinkArbitrator(LinkArbitrator):
     :meth:`set_share` is called by the delegation manager on each rebalance.
     ``full_capacity_bps`` is the physical parent link's capacity.
     """
+
+    __slots__ = ("full_capacity_bps", "_share")
 
     def __init__(
         self,
@@ -192,7 +363,12 @@ class VirtualLinkArbitrator(LinkArbitrator):
     def set_share(self, share: float) -> None:
         if not 0 < share <= 1:
             raise ValueError(f"share must be in (0, 1], got {share!r}")
-        self._share = share
+        if share != self._share:
+            self._share = share
+            # The slice capacity moved: every memoized epoch decision is
+            # stale (queue boundaries and spare top-queue rate shifted),
+            # but the prefix sums — pure demand — remain valid.
+            self._decisions = None
 
     @property
     def capacity(self) -> float:

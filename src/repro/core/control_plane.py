@@ -60,7 +60,7 @@ LEVEL_TOR = 1
 LEVEL_AGG = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainHop:
     """One arbitrator consultation on a flow's (half-)path."""
 
@@ -74,7 +74,7 @@ class ChainHop:
     level: int
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowChains:
     """Cached per-flow arbitration chains (the path is static)."""
 
@@ -131,6 +131,11 @@ class PaseControlPlane:
         #: Control messages eaten by a degraded control channel.
         self.control_messages_lost = 0
         self.arbitrator_crashes = 0
+        #: Soft-state entries dropped by the periodic expiry sweep.
+        self.entries_expired = 0
+        #: Optional ``callback(arbitrator_name, [flow_id, ...])`` fired when
+        #: the sweep evicts stale entries, so sources can be notified.
+        self.on_expired: Optional[Callable[[str, List[int]], None]] = None
 
         self._build_arbitrators()
         if self.config.delegation_enabled and self._delegation_groups:
@@ -405,9 +410,9 @@ class PaseControlPlane:
         if names is None:
             self.cp_down = True
             for arb in self.arbitrators.values():
-                arb.flows.clear()
+                arb.clear()
             for varb in self.virtual.values():
-                varb.flows.clear()
+                varb.clear()
             return
         for name in names:
             arb = self.arbitrators.get(name)
@@ -416,7 +421,7 @@ class PaseControlPlane:
             if arb is None:
                 raise KeyError(f"no arbitrator named {name!r}")
             self._crashed.add(name)
-            arb.flows.clear()
+            arb.clear()
 
     def recover(self, names: Optional[Sequence[str]] = None) -> None:
         """Bring arbitrators back.  They restart *empty* — the paper's soft
@@ -447,18 +452,30 @@ class PaseControlPlane:
         timeout = self.config.entry_timeout
         now = self.sim.now
         occupied = False
-        for arb in self.arbitrators.values():
-            arb.expire(now, timeout)
-            occupied = occupied or bool(arb.flows)
-        for arb in self.virtual.values():
-            arb.expire(now, timeout)
-            occupied = occupied or bool(arb.flows)
+        for tables in (self.arbitrators, self.virtual):
+            for arb in tables.values():
+                self._consume_expired(arb, arb.expire(now, timeout))
+                if arb.flows:
+                    occupied = True
+                    # Epoch-batch: recompute the surviving table once, so
+                    # every decision until the next mutation is memoized.
+                    arb.decide_all()
         if occupied:
             self._expire_event = self.sim.schedule(timeout, self._expire_sweep)
         else:
             # Every table is empty: park the sweep so an idle simulation can
             # drain.  request() re-arms it when fresh soft state appears.
             self._expire_event = None
+
+    def _consume_expired(self, arb: LinkArbitrator, stale: List[int]) -> None:
+        """Account for entries :meth:`LinkArbitrator.expire` dropped and let
+        interested sources know their soft state is gone (a source that is
+        still alive will simply re-register on its next periodic request)."""
+        if not stale:
+            return
+        self.entries_expired += len(stale)
+        if self.on_expired is not None:
+            self.on_expired(arb.name, stale)
 
     def _rebalance_delegation(self) -> None:
         """Periodic virtual-link capacity refresh from child demand reports."""
@@ -479,6 +496,11 @@ class PaseControlPlane:
                 shares = [floor + (1 - floor * len(group)) * r for r in raw]
             for varb, share in zip(group, shares):
                 varb.set_share(max(share, 1e-6))
+                # Epoch-batch: rebuild the slice's whole (PrioQue, Rref)
+                # table in one sorted pass, so every consult until the next
+                # table mutation is a memoized dict hit instead of a
+                # per-flow recompute.
+                varb.decide_all()
             # One report up + one share notification down per child.
             self.messages_sent += 2 * len(group)
             self.messages_by_level[LEVEL_AGG] += 2 * len(group)

@@ -21,12 +21,18 @@ loss, deadline throughput) plus optional per-size-bucket statistics and
 control-plane counters.  ``--load`` accepts a comma-separated list; for
 full (protocol x load x seed) grids with caching use ``python -m
 repro.runner`` instead.
+
+``--output ledger.jsonl`` appends the runner's JSONL run rows, and
+``--profile stats.txt`` wraps execution in cProfile (forcing ``--jobs 1``
+so the runs stay in-process), dumping cumulative-sorted stats to the
+named file and recording its path in the ledger.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import PaseConfig
@@ -83,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print per-size-bucket FCT statistics")
     parser.add_argument("--horizon", type=float, default=None,
                         help="extra simulated seconds past the last arrival")
+    parser.add_argument("--output", type=Path, default=None, metavar="JSONL",
+                        help="append run rows to this JSONL ledger")
+    parser.add_argument("--profile", type=Path, default=None, metavar="PATH",
+                        help="wrap execution in cProfile and dump "
+                             "cumulative-sorted stats to PATH (forces "
+                             "--jobs 1; the --output ledger records the "
+                             "profile's location)")
     return parser
 
 
@@ -148,26 +161,71 @@ def print_summary(result: ExperimentResult, show_buckets: bool) -> None:
                   f"{b.mean_fct * 1e3:<12.3f}{b.p99_fct * 1e3:<12.3f}")
 
 
+def _dump_profile(profiler, path: Path) -> None:
+    """Write cumulative-sorted cProfile stats as text."""
+    import pstats
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        pstats.Stats(profiler, stream=fh).sort_stats("cumulative").print_stats()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     scenario = build_scenario(args.scenario, **scenario_kwargs(args))
     pase_config = build_pase_config(args, scenario)
     loads: List[float] = args.load
 
+    profiler = None
+    if args.profile is not None:
+        if args.jobs != 1:
+            print("--profile forces --jobs 1 (cProfile needs the runs "
+                  "in-process)", file=sys.stderr)
+            args.jobs = 1
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     if len(loads) == 1 and args.jobs == 1:
-        result = run_experiment(ExperimentSpec(
+        spec = ExperimentSpec(
             args.protocol, scenario, loads[0],
             num_flows=args.flows, seed=args.seed,
             pase_config=pase_config, horizon=args.horizon,
-        ))
+        )
+        if profiler is not None:
+            profiler.enable()
+            result = run_experiment(spec)
+            profiler.disable()
+            _dump_profile(profiler, args.profile)
+        else:
+            result = run_experiment(spec)
         print_summary(result, args.buckets)
+        if profiler is not None:
+            print(f"profile:    {args.profile} (sorted by cumulative time)")
+        if args.output is not None:
+            from repro.runner import (STATUS_OK, JsonlSink, RunDescriptor,
+                                      RunRecord, ScenarioSpec)
+
+            descriptor = RunDescriptor(
+                protocol=args.protocol,
+                scenario=ScenarioSpec(args.scenario, scenario_kwargs(args)),
+                load=loads[0], seed=args.seed, num_flows=args.flows,
+                pase_config=pase_config, horizon=args.horizon,
+            )
+            with JsonlSink(args.output) as sink:
+                sink.write_record(RunRecord(
+                    descriptor, STATUS_OK, result=result, attempts=1,
+                    wallclock=result.wallclock))
+                if args.profile is not None:
+                    sink.write_profile(args.profile,
+                                       run_hash=descriptor.content_hash())
         return 0
 
     # Multi-load (or explicitly parallel) invocation: fan the points out
     # through the runner.  The declarative ScenarioSpec keeps workers
     # closure-free and the points cache-addressable.
-    from repro.runner import (RunDescriptor, RunnerConfig, ScenarioSpec,
-                              run_sweep)
+    from repro.runner import (JsonlSink, RunDescriptor, RunnerConfig,
+                              ScenarioSpec, run_sweep)
 
     descriptors = [
         RunDescriptor(
@@ -178,8 +236,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for load in loads
     ]
-    outcome = run_sweep(descriptors, RunnerConfig(
-        jobs=args.jobs, use_cache=False, on_error="record"))
+    config = RunnerConfig(jobs=args.jobs, use_cache=False, on_error="record",
+                          jsonl_path=args.output)
+    if profiler is not None:
+        profiler.enable()
+        outcome = run_sweep(descriptors, config)
+        profiler.disable()
+        _dump_profile(profiler, args.profile)
+        print(f"profile: {args.profile} (sorted by cumulative time)")
+        if args.output is not None:
+            with JsonlSink(args.output) as sink:
+                sink.write_profile(args.profile)
+    else:
+        outcome = run_sweep(descriptors, config)
     for record in outcome.records:
         if record.ok:
             print_summary(record.result, args.buckets)

@@ -31,6 +31,18 @@ class JsonlSink:
     def write_record(self, record: RunRecord) -> None:
         self._write({"type": "run", **record.to_json_dict()})
 
+    def write_profile(self, profile_path: os.PathLike,
+                      run_hash: Optional[str] = None,
+                      sort: str = "cumulative") -> None:
+        """Record where a cProfile dump for this ledger's run(s) landed, so
+        a profile on disk is always discoverable from the ledger alone."""
+        self._write({
+            "type": "profile",
+            "path": str(profile_path),
+            "run": run_hash,
+            "sort": sort,
+        })
+
     def write_summary(self, stats: SweepStats) -> None:
         self._write({
             "type": "sweep_summary",

@@ -46,6 +46,9 @@ class QueueDiscipline:
     link-level instrumentation could not see.
     """
 
+    __slots__ = ("drops", "drop_bytes", "marks", "enqueued_total",
+                 "drop_hook")
+
     def __init__(self) -> None:
         self.drops: int = 0
         self.drop_bytes: int = 0
@@ -81,6 +84,8 @@ class QueueDiscipline:
 
 class DropTailQueue(QueueDiscipline):
     """FIFO with a capacity in packets; arrivals beyond capacity are dropped."""
+
+    __slots__ = ("capacity_pkts", "_q", "_bytes")
 
     def __init__(self, capacity_pkts: int = 100) -> None:
         super().__init__()
@@ -120,6 +125,8 @@ class REDQueue(DropTailQueue):
     length, with RED's min and max thresholds both set to K.
     """
 
+    __slots__ = ("mark_threshold_pkts",)
+
     def __init__(self, capacity_pkts: int = 225, mark_threshold_pkts: int = 65) -> None:
         super().__init__(capacity_pkts=capacity_pkts)
         self.mark_threshold_pkts = int(check_positive("mark_threshold_pkts", mark_threshold_pkts))
@@ -146,6 +153,9 @@ class PriorityQueueBank(QueueDiscipline):
     capacity and marking threshold, as in the Linux PRIO-over-RED stack the
     paper's testbed used.
     """
+
+    __slots__ = ("num_queues", "capacity_pkts", "mark_threshold_pkts",
+                 "per_queue_capacity", "_queues", "_len", "_bytes")
 
     def __init__(
         self,
@@ -229,6 +239,8 @@ class PFabricQueue(QueueDiscipline):
 
     The buffer is intentionally shallow (2×BDP in the paper's setup).
     """
+
+    __slots__ = ("capacity_pkts", "_q", "_bytes")
 
     def __init__(self, capacity_pkts: int = 76) -> None:
         super().__init__()

@@ -99,8 +99,35 @@ class TestAlgorithmOne:
         a.arbitrate(1, 10 * KB, demand=C, now=0.0)
         a.arbitrate(2, 50 * KB, demand=C, now=5.0)
         dropped = a.expire(now=10.0, timeout=6.0)
-        assert dropped == 1
+        assert dropped == [1]
         assert 1 not in a.flows and 2 in a.flows
+
+    def test_expire_skips_scan_when_fresh(self):
+        a = arb()
+        a.arbitrate(1, 10 * KB, demand=C, now=0.0)
+        a.arbitrate(2, 50 * KB, demand=C, now=1.0)
+        assert a.expire(now=2.0, timeout=6.0) == []
+        assert a.active_flows == 2
+        assert a.expire(now=0.0, timeout=0.0) == []  # empty-safe bound
+
+    def test_expire_returns_every_stale_id(self):
+        a = arb()
+        for fid in (3, 1, 2):
+            a.arbitrate(fid, fid * 10 * KB, demand=C, now=0.0)
+        a.arbitrate(9, 90 * KB, demand=C, now=5.0)
+        dropped = a.expire(now=10.0, timeout=6.0)
+        assert sorted(dropped) == [1, 2, 3]
+        assert list(a.flows) == [9]
+
+    def test_clear_resets_table(self):
+        a = arb()
+        a.arbitrate(1, 10 * KB, demand=C, now=0.0)
+        a.arbitrate(2, 50 * KB, demand=C, now=0.0)
+        a.clear()
+        assert a.active_flows == 0
+        assert a.aggregate_demand() == 0.0
+        r = a.arbitrate(3, 5 * KB, demand=C, now=1.0)
+        assert r.queue == 0
 
     def test_requests_served_counter(self):
         a = arb()
@@ -114,6 +141,34 @@ class TestAlgorithmOne:
             a.arbitrate(1, -5, demand=C, now=0.0)
         with pytest.raises(ValueError):
             a.arbitrate(1, 5, demand=-1, now=0.0)
+
+
+class TestDecideAll:
+    def test_matches_per_flow_decisions(self):
+        a = arb()
+        for fid in range(20):
+            a.arbitrate(fid, (fid + 1) * 7 * KB, demand=0.3 * C, now=0.0)
+        table = a.decide_all()
+        assert set(table) == set(range(20))
+        for fid in range(20):
+            # Re-registering with unchanged values is a pure decide and
+            # must agree with the batch table.
+            r = a.arbitrate(fid, (fid + 1) * 7 * KB, demand=0.3 * C, now=1.0)
+            assert r == table[fid]
+
+    def test_memoized_until_mutation(self):
+        a = arb()
+        a.arbitrate(1, 10 * KB, demand=C, now=0.0)
+        table = a.decide_all()
+        assert a.decide_all() is table  # unchanged epoch: cached object
+        a.arbitrate(2, 20 * KB, demand=C, now=0.0)  # insert invalidates
+        assert a.decide_all() is not table
+        table = a.decide_all()
+        a.remove(2)  # removal invalidates too
+        assert a.decide_all() is not table
+
+    def test_empty_table(self):
+        assert arb().decide_all() == {}
 
 
 class TestAggregateDemand:
@@ -167,3 +222,49 @@ class TestVirtualLink:
             v.set_share(0.0)
         with pytest.raises(ValueError):
             v.set_share(1.5)
+
+    def test_share_of_one_is_the_full_link(self):
+        """share=1.0 is legal (a lone child owns the whole parent link) and
+        must behave exactly like a physical arbitrator of that capacity."""
+        v = VirtualLinkArbitrator("v", C, 7, BASE, initial_share=0.25)
+        v.set_share(1.0)
+        assert v.capacity == pytest.approx(C)
+        real = LinkArbitrator("r", C, 7, BASE)
+        for fid in (1, 2, 3):
+            rv = v.arbitrate(fid, fid * 10 * KB, demand=C, now=0.0)
+            rr = real.arbitrate(fid, fid * 10 * KB, demand=C, now=0.0)
+            assert rv == rr
+
+    def test_capacity_change_mid_epoch_invalidates_decisions(self):
+        """A rebalance between two reads of the same epoch must be visible:
+        the memoized decide_all table may not survive a set_share."""
+        v = VirtualLinkArbitrator("v", C, 7, BASE, initial_share=1.0)
+        v.arbitrate(1, 10 * KB, demand=C, now=0.0)
+        v.arbitrate(2, 20 * KB, demand=C, now=0.0)
+        before = v.decide_all()
+        assert before[2].queue == 1  # flow 1 saturates the full link
+        v.set_share(0.5)
+        after = v.decide_all()
+        assert after is not before
+        assert after[2].queue == 2  # half the capacity: ADH spans 2 classes
+        assert after[1].reference_rate == pytest.approx(C / 2)
+        # Re-asserting the same share is a no-op: the epoch table survives.
+        again = v.decide_all()
+        v.set_share(0.5)
+        assert v.decide_all() is again
+
+    def test_aggregate_demand_tie_break_is_deterministic(self):
+        """Flows with equal criterion order by flow id, so the top-queue
+        demand cut falls on the same flow no matter the insertion order."""
+        def fill(order):
+            a = arb()
+            for fid in order:
+                a.arbitrate(fid, 100 * KB, demand=0.4 * C, now=0.0)
+            return a.aggregate_demand(top_queues=1)
+
+        forward = fill([1, 2, 3, 4])
+        backward = fill([4, 3, 2, 1])
+        assert forward == backward
+        # Three 0.4C flows fit before the cumulative demand reaches C
+        # (the crossing flow is included, per Algorithm 1's cumulative scan).
+        assert forward == pytest.approx(1.2 * C)

@@ -106,3 +106,41 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert "control:" in out
         assert "size bucket" in out
+
+    def test_profile_dumps_stats_and_ledger_names_it(self, tmp_path, capsys):
+        import json
+
+        profile = tmp_path / "run.prof.txt"
+        ledger = tmp_path / "run.jsonl"
+        rc = main(["--protocol", "pase", "--scenario", "intra-rack",
+                   "--load", "0.4", "--flows", "10", "--hosts", "4",
+                   "--seed", "2", "--profile", str(profile),
+                   "--output", str(ledger)])
+        assert rc == 0
+        text = profile.read_text()
+        assert "cumulative" in text       # sorted by cumulative time
+        assert "run_experiment" in text   # the wrapped call shows up
+        rows = [json.loads(line) for line in ledger.read_text().splitlines()]
+        run_rows = [r for r in rows if r["type"] == "run"]
+        prof_rows = [r for r in rows if r["type"] == "profile"]
+        assert len(run_rows) == 1 and run_rows[0]["status"] == "ok"
+        assert len(prof_rows) == 1
+        assert prof_rows[0]["path"] == str(profile)
+        assert prof_rows[0]["run"] == run_rows[0]["hash"]
+
+    def test_profile_sweep_forces_serial(self, tmp_path, capsys):
+        import json
+
+        profile = tmp_path / "sweep.prof.txt"
+        ledger = tmp_path / "sweep.jsonl"
+        rc = main(["--protocol", "dctcp", "--scenario", "intra-rack",
+                   "--load", "0.3,0.5", "--flows", "10", "--hosts", "4",
+                   "--jobs", "4", "--profile", str(profile),
+                   "--output", str(ledger)])
+        assert rc == 0
+        assert "forces --jobs 1" in capsys.readouterr().err
+        assert "run_experiment" in profile.read_text()
+        rows = [json.loads(line) for line in ledger.read_text().splitlines()]
+        types = [r["type"] for r in rows]
+        assert types.count("run") == 2
+        assert "profile" in types

@@ -134,3 +134,18 @@ class TestByteIdenticalGoldens:
         assert r.events == 168191
         assert _fingerprint(r) == ("d9d1441d4de48168288cbd7f07a9e9c5"
                                    "52e30902aa24ccca497d75682fb1d8d1")
+
+    def test_pase_delegation_golden(self):
+        """Delegation-heavy: every left-right flow crosses the core, so the
+        virtual arbitrators and the periodic share rebalancer are on the
+        hot path.  Pinned immediately before the sorted-table fast path and
+        the epoch-batch ``decide_all`` landed, so it proves the rebalance
+        path (``aggregate_demand(top_queues=1)`` → ``set_share`` →
+        ``decide_all``) is byte-identical too."""
+        r = run_experiment(ExperimentSpec(
+            "pase", left_right(hosts_per_rack=4), 0.7,
+            num_flows=80, seed=11))
+        assert r.events == 185199
+        assert r.stats.completion_fraction == 1.0
+        assert _fingerprint(r) == ("d87f7b897b4bc74b6dc0855be8fa5e60"
+                                   "db195269f045cf8d4d825375a1065341")
